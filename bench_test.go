@@ -1,0 +1,319 @@
+package tlc
+
+// One benchmark per table and figure of the paper's evaluation section,
+// plus the ablation benches DESIGN.md section 5 calls out. Each bench
+// regenerates its experiment at a reduced scale (200 K timed instructions,
+// 2 M warm) and reports the experiment's headline quantities as custom
+// metrics, so `go test -bench=. -benchmem` doubles as a quick reproduction
+// of the paper's shapes. cmd/tlctables runs the full-scale versions.
+
+import (
+	"math"
+	"testing"
+
+	"tlc/internal/config"
+	"tlc/internal/cpu"
+	"tlc/internal/nuca"
+	"tlc/internal/sim"
+	"tlc/internal/stats"
+	"tlc/internal/tlcache"
+	"tlc/internal/tline"
+	"tlc/internal/wire"
+	"tlc/internal/workload"
+)
+
+// benchOptions is the reduced scale used by the benchmark harness.
+func benchOptions() Options {
+	return Options{WarmInstructions: 2_000_000, RunInstructions: 200_000, Seed: 1}
+}
+
+// benchRun runs one (design, benchmark) pair at bench scale.
+func benchRun(b *testing.B, d Design, bench string) Result {
+	b.Helper()
+	res, err := Run(d, bench, benchOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func BenchmarkTable1TransmissionLines(b *testing.B) {
+	var minAmp, minPulse float64
+	for i := 0; i < b.N; i++ {
+		minAmp, minPulse = 1, 1000
+		for _, rep := range AnalyzeLines() {
+			if !rep.OK {
+				b.Fatalf("Table 1 geometry %+v fails acceptance", rep.Geometry)
+			}
+			minAmp = math.Min(minAmp, rep.AmplitudeFrac)
+			minPulse = math.Min(minPulse, rep.PulseWidthPs)
+		}
+	}
+	b.ReportMetric(minAmp, "min_amplitude_xVdd")
+	b.ReportMetric(minPulse, "min_pulse_ps")
+}
+
+func BenchmarkTable2DesignParameters(b *testing.B) {
+	want := map[Design][2]uint64{
+		DesignTLC:        {10, 16},
+		DesignTLCOpt1000: {12, 13},
+		DesignTLCOpt500:  {12, 12},
+		DesignTLCOpt350:  {12, 12},
+		DesignSNUCA2:     {9, 32},
+		DesignDNUCA:      {3, 47},
+	}
+	for i := 0; i < b.N; i++ {
+		for d, r := range want {
+			min, max := UncontendedRange(d)
+			if min != r[0] || max != r[1] {
+				b.Fatalf("%v uncontended range %d-%d, want %d-%d", d, min, max, r[0], r[1])
+			}
+		}
+	}
+	b.ReportMetric(2048, "tlc_total_lines")
+}
+
+func BenchmarkFigure3WireComparison(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rep := wire.Repeat(wire.Global45(), 20).DelayPs
+		tl := 20e-3 / tline.Extract(tline.Table1()[2]).Velocity * 1e12
+		speedup = rep / tl
+	}
+	b.ReportMetric(speedup, "tl_speedup_2cm")
+	b.ReportMetric(wire.Repeat(wire.Global45(), 20).DelayCycles(), "rc_2cm_cycles")
+}
+
+func BenchmarkTable6BenchmarkCharacteristics(b *testing.B) {
+	var tlcPred, dnucaPred stats.Series
+	for i := 0; i < b.N; i++ {
+		tlcPred, dnucaPred = stats.Series{}, stats.Series{}
+		for _, bench := range Benchmarks() {
+			tr := benchRun(b, DesignTLC, bench)
+			dr := benchRun(b, DesignDNUCA, bench)
+			tlcPred.Append(bench, tr.PredictablePct)
+			dnucaPred.Append(bench, dr.PredictablePct)
+		}
+	}
+	b.ReportMetric(tlcPred.Mean(), "tlc_predictable_pct")
+	b.ReportMetric(dnucaPred.Mean(), "dnuca_predictable_pct")
+}
+
+func BenchmarkTable7SubstrateArea(b *testing.B) {
+	var savings float64
+	for i := 0; i < b.N; i++ {
+		dn := Area(DesignDNUCA).TotalMM2()
+		tl := Area(DesignTLC).TotalMM2()
+		savings = 100 * (1 - tl/dn)
+	}
+	b.ReportMetric(savings, "area_savings_pct")
+	b.ReportMetric(Area(DesignTLC).TotalMM2(), "tlc_total_mm2")
+}
+
+func BenchmarkTable8NetworkTransistors(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ratio = float64(Transistors(DesignDNUCA).Count) / float64(Transistors(DesignTLC).Count)
+	}
+	b.ReportMetric(ratio, "transistor_ratio")
+	b.ReportMetric(Transistors(DesignDNUCA).GateWidthLambda/1e6, "dnuca_gate_Mlambda")
+	b.ReportMetric(Transistors(DesignTLC).GateWidthLambda/1e6, "tlc_gate_Mlambda")
+}
+
+func BenchmarkTable9DynamicPower(b *testing.B) {
+	var avgSavings, dnucaBanks float64
+	for i := 0; i < b.N; i++ {
+		avgSavings, dnucaBanks = 0, 0
+		for _, bench := range Benchmarks() {
+			dr := benchRun(b, DesignDNUCA, bench)
+			tr := benchRun(b, DesignTLC, bench)
+			avgSavings += 1 - tr.NetworkPowerW/dr.NetworkPowerW
+			dnucaBanks += dr.BanksPerRequest
+		}
+		avgSavings /= float64(len(Benchmarks()))
+		dnucaBanks /= float64(len(Benchmarks()))
+	}
+	b.ReportMetric(avgSavings*100, "power_savings_pct")
+	b.ReportMetric(dnucaBanks, "dnuca_banks_per_req")
+}
+
+func BenchmarkFigure5NormalizedExecTime(b *testing.B) {
+	var dnuca, tlcs stats.Series
+	for i := 0; i < b.N; i++ {
+		dnuca, tlcs = stats.Series{}, stats.Series{}
+		for _, bench := range Benchmarks() {
+			base := float64(benchRun(b, DesignSNUCA2, bench).Cycles)
+			dnuca.Append(bench, float64(benchRun(b, DesignDNUCA, bench).Cycles)/base)
+			tlcs.Append(bench, float64(benchRun(b, DesignTLC, bench).Cycles)/base)
+		}
+	}
+	b.ReportMetric(dnuca.GeoMean(), "dnuca_norm_exec_geomean")
+	b.ReportMetric(tlcs.GeoMean(), "tlc_norm_exec_geomean")
+}
+
+func BenchmarkFigure6MeanLookupLatency(b *testing.B) {
+	var tlcMin, tlcMax, dnMin, dnMax float64
+	for i := 0; i < b.N; i++ {
+		tlcMin, tlcMax, dnMin, dnMax = math.Inf(1), 0, math.Inf(1), 0
+		for _, bench := range Benchmarks() {
+			t := benchRun(b, DesignTLC, bench).MeanLookup
+			d := benchRun(b, DesignDNUCA, bench).MeanLookup
+			tlcMin, tlcMax = math.Min(tlcMin, t), math.Max(tlcMax, t)
+			dnMin, dnMax = math.Min(dnMin, d), math.Max(dnMax, d)
+		}
+	}
+	b.ReportMetric(tlcMax-tlcMin, "tlc_lookup_spread_cycles")
+	b.ReportMetric(dnMax-dnMin, "dnuca_lookup_spread_cycles")
+	b.ReportMetric(tlcMax, "tlc_lookup_max_cycles")
+}
+
+func BenchmarkFigure7LinkUtilization(b *testing.B) {
+	var baseMax, opt350Max float64
+	for i := 0; i < b.N; i++ {
+		baseMax, opt350Max = 0, 0
+		for _, bench := range Benchmarks() {
+			baseMax = math.Max(baseMax, benchRun(b, DesignTLC, bench).LinkUtilization)
+			opt350Max = math.Max(opt350Max, benchRun(b, DesignTLCOpt350, bench).LinkUtilization)
+		}
+	}
+	b.ReportMetric(baseMax*100, "tlc_max_util_pct")
+	b.ReportMetric(opt350Max*100, "opt350_max_util_pct")
+}
+
+func BenchmarkFigure8TLCFamilyExecTime(b *testing.B) {
+	var worstDelta float64
+	for i := 0; i < b.N; i++ {
+		worstDelta = 0
+		for _, bench := range Benchmarks() {
+			base := float64(benchRun(b, DesignTLC, bench).Cycles)
+			for _, d := range []Design{DesignTLCOpt1000, DesignTLCOpt500, DesignTLCOpt350} {
+				norm := float64(benchRun(b, d, bench).Cycles) / base
+				worstDelta = math.Max(worstDelta, math.Abs(norm-1))
+			}
+		}
+	}
+	b.ReportMetric(worstDelta*100, "family_worst_exec_delta_pct")
+}
+
+// --- Ablation benches (DESIGN.md section 5) ---
+
+func BenchmarkAblationDNUCAPromotion(b *testing.B) {
+	sys := config.DefaultSystem()
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		run := func(disable bool) float64 {
+			spec, _ := workload.SpecByName("gcc")
+			gen := workload.New(spec, 1)
+			d := nuca.NewDNUCA(sys.MemoryLatency)
+			d.Abl.DisablePromotion = disable
+			gen.PreWarm(d)
+			core := cpu.New(sys, d)
+			core.Warm(gen, 2_000_000)
+			return float64(core.Run(gen, 200_000).Cycles)
+		}
+		with = run(false)
+		without = run(true)
+	}
+	b.ReportMetric(without/with, "exec_ratio_without_promotion")
+}
+
+func BenchmarkAblationDNUCAPartialTags(b *testing.B) {
+	sys := config.DefaultSystem()
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		run := func(disable bool) float64 {
+			spec, _ := workload.SpecByName("mcf")
+			gen := workload.New(spec, 1)
+			d := nuca.NewDNUCA(sys.MemoryLatency)
+			d.Abl.DisablePartialTags = disable
+			gen.PreWarm(d)
+			core := cpu.New(sys, d)
+			core.Warm(gen, 2_000_000)
+			core.Run(gen, 200_000)
+			return d.Lookup.Mean()
+		}
+		with = run(false)
+		without = run(true)
+	}
+	b.ReportMetric(without-with, "lookup_cycles_added_without_ptags")
+}
+
+func BenchmarkAblationTLCLinkMargin(b *testing.B) {
+	sys := config.DefaultSystem()
+	var base, widened float64
+	for i := 0; i < b.N; i++ {
+		run := func(margin int) float64 {
+			spec, _ := workload.SpecByName("mcf")
+			gen := workload.New(spec, 1)
+			c := tlcache.New(config.TLC, sys.MemoryLatency)
+			c.AddLinkMargin(sim.Time(margin))
+			gen.PreWarm(c)
+			core := cpu.New(sys, c)
+			core.Warm(gen, 2_000_000)
+			return float64(core.Run(gen, 200_000).Cycles)
+		}
+		base = run(0)
+		widened = run(2)
+	}
+	b.ReportMetric(widened/base, "exec_ratio_with_2cycle_margin")
+}
+
+func BenchmarkAblationReplacementOnEquake(b *testing.B) {
+	// The equake story (Section 6.1): DNUCA's insert-far placement
+	// shields its hot set from the stream; TLC's LRU does not.
+	var tlcMiss, dnucaMiss float64
+	for i := 0; i < b.N; i++ {
+		tlcMiss = benchRun(b, DesignTLC, "equake").MissesPer1K
+		dnucaMiss = benchRun(b, DesignDNUCA, "equake").MissesPer1K
+	}
+	b.ReportMetric(tlcMiss, "tlc_equake_miss_per_1k")
+	b.ReportMetric(dnucaMiss, "dnuca_equake_miss_per_1k")
+}
+
+func BenchmarkAblationTLCoptMultiMatch(b *testing.B) {
+	// Multi-matches need full sets with diverse tags: equake's large
+	// resident hot set provides them (the SPECint footprints span too few
+	// address-space chunks for 6-bit partial tags to alias).
+	sys := config.DefaultSystem()
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		spec, _ := workload.SpecByName("equake")
+		gen := workload.New(spec, 1)
+		c := tlcache.New(config.TLCOpt500, sys.MemoryLatency)
+		gen.PreWarm(c)
+		core := cpu.New(sys, c)
+		core.Warm(gen, 2_000_000)
+		core.Run(gen, 200_000)
+		rate = 100 * float64(c.MultiMatches) / float64(c.Loads.Value())
+	}
+	b.ReportMetric(rate, "multimatch_pct_of_lookups")
+}
+
+func BenchmarkAblationTLCNoiseECC(b *testing.B) {
+	// The reliability extension (Section 4): sweep residual line noise
+	// and measure what end-to-end ECC retries cost. At the operating
+	// points the paper's conservative margins target, the cost is nil.
+	sys := config.DefaultSystem()
+	var retryRate, execRatio float64
+	for i := 0; i < b.N; i++ {
+		run := func(ber float64) (float64, float64) {
+			spec, _ := workload.SpecByName("gcc")
+			gen := workload.New(spec, 1)
+			c := tlcache.New(config.TLC, sys.MemoryLatency)
+			if ber > 0 {
+				c.SetNoise(ber)
+			}
+			gen.PreWarm(c)
+			core := cpu.New(sys, c)
+			core.Warm(gen, 2_000_000)
+			cr := core.Run(gen, 200_000)
+			return float64(cr.Cycles), float64(c.ECCRetries) / float64(c.Loads.Value())
+		}
+		clean, _ := run(0)
+		noisy, rr := run(5e-4)
+		retryRate = rr
+		execRatio = noisy / clean
+	}
+	b.ReportMetric(retryRate*100, "retry_pct_at_BER_5e-4")
+	b.ReportMetric(execRatio, "exec_ratio_at_BER_5e-4")
+}

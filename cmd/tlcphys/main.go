@@ -1,0 +1,75 @@
+// Command tlcphys explores the physical models behind TLC: transmission-
+// line extraction and signal integrity across geometry sweeps, the
+// conventional-wire comparison, and the dynamic-power crossover.
+//
+//	tlcphys           # Table 1 analysis + delay comparison + power crossover
+//	tlcphys -sweep    # width/length acceptance sweep (which geometries work)
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"tlc/internal/power"
+	"tlc/internal/report"
+	"tlc/internal/tline"
+	"tlc/internal/wire"
+)
+
+func main() {
+	sweep := flag.Bool("sweep", false, "sweep conductor width x length acceptance")
+	flag.Parse()
+
+	t := report.NewTable("Transmission line analysis (Table 1 geometries)",
+		"Length", "W (um)", "Z0 (ohm)", "C (pF/m)", "Rdc (ohm/m)", "Flight (ps)", "Cycles", "Amplitude", "Pulse (ps)", "Accept")
+	for _, g := range tline.Table1() {
+		s := tline.Analyze(g)
+		t.AddRow(fmt.Sprintf("%.1f cm", g.LengthCM), g.WidthUM, s.RLC.Z0, s.RLC.CPerM*1e12,
+			s.RLC.RdcPerM, s.FlightPs, s.DelayCycles, s.AmplitudeFrac, s.PulseWidthPs,
+			fmt.Sprintf("%v", s.OK))
+	}
+	fmt.Println(t)
+
+	d := report.NewTable("Global interconnect delay at 45 nm / 10 GHz",
+		"Length (mm)", "Bare RC (cycles)", "Repeated RC (cycles)", "Transmission line (cycles)", "TL speedup vs repeated")
+	gw := wire.Global45()
+	rl := tline.Extract(tline.Table1()[2])
+	for _, mm := range []float64{1, 2, 5, 9, 13, 20, 30} {
+		bare := wire.UnrepeatedDelayPs(gw, mm) / wire.CyclePs
+		rep := wire.Repeat(gw, mm).DelayCycles()
+		tl := mm * 1e-3 / rl.Velocity * 1e12 / wire.CyclePs
+		d.AddRow(mm, bare, rep, tl, rep/tl)
+	}
+	fmt.Println(d)
+
+	p := report.NewTable("Dynamic power crossover: t_b/(2 Z0) < C favours transmission lines",
+		"Length (mm)", "Conventional C (pF)", "TL equivalent (pF)", "TL cheaper", "RC energy/bit (pJ)", "TL energy/bit (pJ)")
+	z0 := rl.Z0
+	tlEquivalent := 100e-12 / (2 * z0) // t_b/(2 Z0)
+	for _, mm := range []float64{1, 3, 5, 10, 13, 20} {
+		c := gw.CPerMM * mm
+		p.AddRow(mm, c*1e12, tlEquivalent*1e12,
+			fmt.Sprintf("%v", tline.CheaperThanRC(z0, c)),
+			power.RCWireEnergyPerBitJ(mm)*1e12,
+			0.5*tline.EnergyPerBitJ(z0)*1e12)
+	}
+	fmt.Println(p)
+
+	if *sweep {
+		sw := report.NewTable("Acceptance sweep: conductor width vs length (S=W, H=1.75um, T=3um)",
+			"W (um)", "0.5 cm", "0.9 cm", "1.1 cm", "1.3 cm", "1.6 cm", "2.0 cm")
+		for _, w := range []float64{1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0} {
+			row := []interface{}{w}
+			for _, l := range []float64{0.5, 0.9, 1.1, 1.3, 1.6, 2.0} {
+				s := tline.Analyze(tline.Geometry{WidthUM: w, SpacingUM: w, HeightUM: 1.75, ThicknessUM: 3.0, LengthCM: l})
+				mark := "fail"
+				if s.OK {
+					mark = "ok"
+				}
+				row = append(row, mark)
+			}
+			sw.AddRow(row...)
+		}
+		fmt.Println(sw)
+	}
+}

@@ -1,0 +1,87 @@
+// Command tlcsim runs one benchmark on one cache design and prints the
+// full statistics block:
+//
+//	tlcsim -design TLC -bench gcc
+//	tlcsim -design DNUCA -bench mcf -run 5000000
+//	tlcsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tlc"
+)
+
+func main() {
+	design := flag.String("design", "TLC", "cache design: SNUCA2, DNUCA, TLC, TLCopt1000, TLCopt500, TLCopt350")
+	bench := flag.String("bench", "gcc", "benchmark name (see -list)")
+	runN := flag.Uint64("run", 0, "timed instructions (default: standard 2M)")
+	warmN := flag.Uint64("warm", 0, "warm-up instructions (default: automatic)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	list := flag.Bool("list", false, "list designs and benchmarks")
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0, 6)
+		for _, d := range tlc.Designs() {
+			names = append(names, d.String())
+		}
+		fmt.Println("designs:   ", strings.Join(names, ", "))
+		fmt.Println("benchmarks:", strings.Join(tlc.Benchmarks(), ", "))
+		return
+	}
+
+	d, ok := parseDesign(*design)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown design %q (try -list)\n", *design)
+		os.Exit(2)
+	}
+	opt := tlc.DefaultOptions()
+	opt.Seed = *seed
+	if *runN > 0 {
+		opt.RunInstructions = *runN
+	}
+	opt.WarmInstructions = *warmN
+
+	start := time.Now()
+	res, err := tlc.Run(d, *bench, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	fmt.Printf("design            %v\n", res.Design)
+	fmt.Printf("benchmark         %s\n", res.Benchmark)
+	fmt.Printf("instructions      %d\n", res.Instructions)
+	fmt.Printf("cycles            %d\n", res.Cycles)
+	fmt.Printf("IPC               %.3f\n", res.IPC)
+	fmt.Printf("L2 loads          %d\n", res.L2Loads)
+	fmt.Printf("L2 stores         %d\n", res.L2Stores)
+	fmt.Printf("misses/1K instr   %.3f\n", res.MissesPer1K)
+	fmt.Printf("mean lookup       %.2f cycles\n", res.MeanLookup)
+	fmt.Printf("predictable       %.1f%%\n", res.PredictablePct)
+	fmt.Printf("banks/request     %.2f\n", res.BanksPerRequest)
+	fmt.Printf("network power     %.1f mW\n", res.NetworkPowerW*1000)
+	if res.LinkUtilization > 0 {
+		fmt.Printf("link utilization  %.2f%%\n", res.LinkUtilization*100)
+	}
+	if res.Design == tlc.DesignDNUCA {
+		fmt.Printf("close hits        %.1f%%\n", res.CloseHitPct)
+		fmt.Printf("promotes/inserts  %.2f\n", res.PromotesPerInsert)
+	}
+	fmt.Printf("(simulated in %v)\n", elapsed)
+}
+
+func parseDesign(name string) (tlc.Design, bool) {
+	for _, d := range tlc.Designs() {
+		if strings.EqualFold(d.String(), name) {
+			return d, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,103 @@
+// Command tlctables regenerates every table and figure of the paper's
+// evaluation section (see the experiment index in DESIGN.md):
+//
+//	tlctables            # standard scaled runs (2 M timed instructions)
+//	tlctables -long      # 10x longer timed runs
+//	tlctables -quick     # fast sanity pass (200 K timed instructions)
+//	tlctables -par 8     # simulation parallelism
+//	tlctables -only fig5 # one experiment: table1|table2|table6|table7|
+//	                     # table8|table9|fig3|fig5|fig6|fig7|fig8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"tlc"
+	"tlc/internal/experiments"
+)
+
+func main() {
+	long := flag.Bool("long", false, "run 10x longer timed intervals")
+	quick := flag.Bool("quick", false, "fast sanity pass (200K timed instructions)")
+	par := flag.Int("par", runtime.NumCPU(), "simulation parallelism")
+	only := flag.String("only", "", "run a single experiment (e.g. fig5, table9)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	opt := tlc.DefaultOptions()
+	opt.Seed = *seed
+	if *long {
+		opt.RunInstructions *= 10
+	}
+	if *quick {
+		opt.RunInstructions = 200_000
+		opt.WarmInstructions = 2_000_000
+	}
+	s := experiments.NewSuite(opt)
+
+	static := map[string]func() string{
+		"table1": func() string { return experiments.Table1().String() },
+		"table2": func() string { return experiments.Table2().String() },
+		"table7": func() string { return experiments.Table7().String() },
+		"table8": func() string { return experiments.Table8().String() },
+		"fig3":   func() string { return experiments.Figure3().String() },
+	}
+	simulated := map[string]func() string{
+		"table6": func() string { return s.Table6().String() },
+		"table9": func() string { return s.Table9().String() },
+		"fig5":   func() string { return s.Figure5().String() },
+		"fig6":   func() string { return s.Figure6().String() },
+		"fig7":   func() string { return s.Figure7().String() },
+		"fig8":   func() string { return s.Figure8().String() },
+	}
+
+	if *only != "" {
+		name := strings.ToLower(*only)
+		if fn, ok := static[name]; ok {
+			fmt.Println(fn())
+			return
+		}
+		fn, ok := simulated[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
+			os.Exit(2)
+		}
+		prefetchFor(s, name, *par)
+		fmt.Println(fn())
+		return
+	}
+
+	order := []string{"table1", "table2", "fig3", "table7", "table8"}
+	for _, name := range order {
+		fmt.Println(static[name]())
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "simulating %d benchmarks x 6 designs (%d timed instructions each, par=%d)...\n",
+		len(tlc.Benchmarks()), opt.RunInstructions, *par)
+	s.Prefetch(tlc.Designs(), tlc.Benchmarks(), *par)
+	fmt.Fprintf(os.Stderr, "simulation done in %v\n\n", time.Since(start).Round(time.Second))
+
+	for _, name := range []string{"table6", "fig5", "fig6", "table9", "fig7", "fig8"} {
+		fmt.Println(simulated[name]())
+	}
+}
+
+// prefetchFor warms the cache with just the runs one experiment needs.
+func prefetchFor(s *experiments.Suite, name string, par int) {
+	switch name {
+	case "table6", "table9", "fig6":
+		s.Prefetch([]tlc.Design{tlc.DesignTLC, tlc.DesignDNUCA}, tlc.Benchmarks(), par)
+	case "fig5":
+		s.Prefetch([]tlc.Design{tlc.DesignSNUCA2, tlc.DesignDNUCA, tlc.DesignTLC}, tlc.Benchmarks(), par)
+	case "fig7":
+		s.Prefetch(tlc.TLCFamily(), tlc.Benchmarks(), par)
+	case "fig8":
+		s.Prefetch(append([]tlc.Design{tlc.DesignSNUCA2}, tlc.TLCFamily()...), tlc.Benchmarks(), par)
+	}
+}

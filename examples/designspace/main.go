@@ -1,0 +1,63 @@
+// Designspace sweeps the whole TLC family — base TLC plus the three
+// optimized designs that trade transmission lines for latency and
+// complexity — across the twelve benchmarks, reproducing the shape of the
+// paper's Figures 7 and 8: link utilization rises as lines shrink from
+// 2048 to 352, while execution time stays nearly flat.
+//
+//	go run ./examples/designspace            # all benchmarks
+//	go run ./examples/designspace mcf swim   # a subset
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"tlc"
+)
+
+func main() {
+	benches := tlc.Benchmarks()
+	if len(os.Args) > 1 {
+		benches = os.Args[1:]
+	}
+	opt := tlc.DefaultOptions()
+
+	fmt.Println("TLC family design space: wires vs performance")
+	fmt.Println()
+	fmt.Printf("%-12s %8s %14s\n", "design", "lines", "uncontended")
+	for _, d := range tlc.TLCFamily() {
+		min, max := tlc.UncontendedRange(d)
+		fmt.Printf("%-12v %8d %10d-%d cy\n", d, tlc.TotalLines(d), min, max)
+	}
+	fmt.Println()
+
+	header := fmt.Sprintf("%-8s", "bench")
+	for _, d := range tlc.TLCFamily() {
+		header += fmt.Sprintf(" | %-10v util%%/norm", d)
+	}
+	fmt.Println(header)
+
+	for _, b := range benches {
+		base, err := tlc.Run(tlc.DesignSNUCA2, b, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row := fmt.Sprintf("%-8s", b)
+		for _, d := range tlc.TLCFamily() {
+			r, err := tlc.Run(d, b, opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf(" |   %5.2f%% / %.3f   ",
+				r.LinkUtilization*100, float64(r.Cycles)/float64(base.Cycles))
+		}
+		fmt.Println(row)
+	}
+
+	fmt.Println()
+	fmt.Println("Reading the table: utilization climbs roughly in proportion to the")
+	fmt.Println("removed wires (Figure 7) while normalized execution time barely")
+	fmt.Println("moves (Figure 8) — the base design's bandwidth is overprovisioned,")
+	fmt.Println("so TLCopt350 delivers the same performance with 6x fewer lines.")
+}

@@ -1,0 +1,63 @@
+// Powerarea reproduces the paper's physical-cost comparison (Tables 7-9):
+// substrate area, communication-network transistor demand, and dynamic
+// network power for DNUCA versus the base TLC design.
+//
+//	go run ./examples/powerarea
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tlc"
+)
+
+func main() {
+	fmt.Println("Substrate area (Table 7)")
+	fmt.Printf("%-8s %10s %10s %12s %8s\n", "design", "storage", "channel", "controller", "total")
+	var dnucaTotal, tlcTotal float64
+	for _, d := range []tlc.Design{tlc.DesignDNUCA, tlc.DesignTLC} {
+		a := tlc.Area(d)
+		fmt.Printf("%-8v %8.1f mm2 %7.1f mm2 %9.1f mm2 %5.1f mm2\n",
+			d, a.StorageMM2, a.ChannelMM2, a.ControlMM2, a.TotalMM2())
+		if d == tlc.DesignDNUCA {
+			dnucaTotal = a.TotalMM2()
+		} else {
+			tlcTotal = a.TotalMM2()
+		}
+	}
+	fmt.Printf("TLC saves %.0f%% substrate area (paper: 18%%)\n\n",
+		100*(1-tlcTotal/dnucaTotal))
+
+	fmt.Println("Network transistors (Table 8)")
+	for _, d := range []tlc.Design{tlc.DesignDNUCA, tlc.DesignTLC} {
+		n := tlc.Transistors(d)
+		fmt.Printf("%-8v %10.2g transistors %8.0f Mlambda gate width\n",
+			d, float64(n.Count), n.GateWidthLambda/1e6)
+	}
+	ratio := float64(tlc.Transistors(tlc.DesignDNUCA).Count) /
+		float64(tlc.Transistors(tlc.DesignTLC).Count)
+	fmt.Printf("transistor reduction: %.0fx (paper: >50x)\n\n", ratio)
+
+	fmt.Println("Network dynamic power (Table 9)")
+	fmt.Printf("%-8s %12s %12s %10s\n", "bench", "DNUCA (mW)", "TLC (mW)", "savings")
+	opt := tlc.DefaultOptions()
+	var totalSavings float64
+	benches := tlc.Benchmarks()
+	for _, b := range benches {
+		dr, err := tlc.Run(tlc.DesignDNUCA, b, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := tlc.Run(tlc.DesignTLC, b, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		saving := 1 - tr.NetworkPowerW/dr.NetworkPowerW
+		totalSavings += saving
+		fmt.Printf("%-8s %10.1f %12.1f %9.0f%%\n",
+			b, dr.NetworkPowerW*1000, tr.NetworkPowerW*1000, saving*100)
+	}
+	fmt.Printf("\naverage network power reduction: %.0f%% (paper: 61%%)\n",
+		100*totalSavings/float64(len(benches)))
+}

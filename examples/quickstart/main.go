@@ -1,0 +1,43 @@
+// Quickstart: build the base Transmission Line Cache, run the gcc-like
+// workload on the Table 3 machine, and print the headline statistics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tlc"
+)
+
+func main() {
+	// The default options run a scaled experiment: automatic cache
+	// warm-up followed by 2 M timed instructions.
+	opt := tlc.DefaultOptions()
+
+	res, err := tlc.Run(tlc.DesignTLC, "gcc", opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("ran %d instructions of %q on %v in %d cycles (IPC %.2f)\n",
+		res.Instructions, res.Benchmark, res.Design, res.Cycles, res.IPC)
+	fmt.Printf("L2: %d loads, %d stores, %.3f misses/1K instructions\n",
+		res.L2Loads, res.L2Stores, res.MissesPer1K)
+	fmt.Printf("mean lookup latency: %.1f cycles (uncontended design range 10-16)\n",
+		res.MeanLookup)
+	fmt.Printf("predictable lookups: %.1f%% — the property that lets a\n", res.PredictablePct)
+	fmt.Println("dynamic scheduler speculate on L2 hits (Section 6.1)")
+	fmt.Printf("transmission-line utilization: %.2f%% of %d lines\n",
+		res.LinkUtilization*100, tlc.TotalLines(tlc.DesignTLC))
+	fmt.Printf("network dynamic power: %.1f mW\n", res.NetworkPowerW*1000)
+
+	// Compare against the conventional-wire baseline in one line.
+	base, err := tlc.Run(tlc.DesignSNUCA2, "gcc", opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnormalized execution time vs SNUCA2: %.3f\n",
+		float64(res.Cycles)/float64(base.Cycles))
+}

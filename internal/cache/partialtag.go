@@ -1,0 +1,129 @@
+package cache
+
+import (
+	"fmt"
+
+	"tlc/internal/mem"
+)
+
+// PartialTags is the 6-bit partial-tag structure DNUCA keeps at its central
+// controller (Section 2) and TLCopt keeps inside each bank (Section 4). It
+// shadows a set of cache banks: for each (set, bank, way) it records the low
+// six tag bits of the resident block, so a lookup can name the candidate
+// banks that might hold a block without accessing them.
+//
+// Partial tags admit false positives (two tags sharing low bits) but never
+// false negatives — provided the structure is kept consistent with the bank
+// contents, which is exactly the synchronization burden the paper charges
+// DNUCA with.
+type PartialTags struct {
+	sets  int
+	banks int
+	assoc int
+	// tag[(set*banks+bank)*assoc+way], gated by valid.
+	tags  []uint8
+	valid []bool
+}
+
+// NewPartialTags shadows `banks` banks, each with the given per-bank sets
+// and associativity.
+func NewPartialTags(sets, banks, assoc int) *PartialTags {
+	if sets <= 0 || banks <= 0 || assoc <= 0 {
+		panic(fmt.Sprintf("cache: bad partial tag geometry %d/%d/%d", sets, banks, assoc))
+	}
+	n := sets * banks * assoc
+	return &PartialTags{
+		sets:  sets,
+		banks: banks,
+		assoc: assoc,
+		tags:  make([]uint8, n),
+		valid: make([]bool, n),
+	}
+}
+
+// Install records block b residing in bank at the given way.
+func (p *PartialTags) Install(b mem.Block, bank, way int) {
+	idx := p.index(b.SetIndex(p.sets), bank, way)
+	p.tags[idx] = b.PartialTag(p.sets)
+	p.valid[idx] = true
+}
+
+// Clear invalidates the entry for (set of b, bank, way).
+func (p *PartialTags) Clear(b mem.Block, bank, way int) {
+	idx := p.index(b.SetIndex(p.sets), bank, way)
+	p.valid[idx] = false
+}
+
+// Candidates reports which banks have at least one way whose partial tag
+// matches b. The caller excludes banks it has already probed.
+func (p *PartialTags) Candidates(b mem.Block) []int {
+	set := b.SetIndex(p.sets)
+	pt := b.PartialTag(p.sets)
+	var out []int
+	for bank := 0; bank < p.banks; bank++ {
+		for way := 0; way < p.assoc; way++ {
+			idx := p.index(set, bank, way)
+			if p.valid[idx] && p.tags[idx] == pt {
+				out = append(out, bank)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// MatchesIn reports whether bank has any way matching b's partial tag.
+func (p *PartialTags) MatchesIn(b mem.Block, bank int) bool {
+	set := b.SetIndex(p.sets)
+	pt := b.PartialTag(p.sets)
+	for way := 0; way < p.assoc; way++ {
+		idx := p.index(set, bank, way)
+		if p.valid[idx] && p.tags[idx] == pt {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchCount reports the number of ways in bank matching b's partial tag —
+// the multi-match case TLCopt resolves with a second round trip.
+func (p *PartialTags) MatchCount(b mem.Block, bank int) int {
+	set := b.SetIndex(p.sets)
+	pt := b.PartialTag(p.sets)
+	n := 0
+	for way := 0; way < p.assoc; way++ {
+		idx := p.index(set, bank, way)
+		if p.valid[idx] && p.tags[idx] == pt {
+			n++
+		}
+	}
+	return n
+}
+
+// SyncSet makes bank's shadow of one set exactly match the given resident
+// lines, the resynchronization the DNUCA controller performs when a fill or
+// migration mutates a set.
+func (p *PartialTags) SyncSet(set, bank int, lines []Line) {
+	for way := 0; way < p.assoc; way++ {
+		p.valid[p.index(set, bank, way)] = false
+	}
+	for _, ln := range lines {
+		if ln.Block.SetIndex(p.sets) != set {
+			panic("cache: SyncSet line from a different set")
+		}
+		idx := p.index(set, bank, ln.Way)
+		p.tags[idx] = ln.Block.PartialTag(p.sets)
+		p.valid[idx] = true
+	}
+}
+
+// Entries reports the total capacity, used for the area model: DNUCA's
+// partial tag structure covers every line in the cache.
+func (p *PartialTags) Entries() int { return p.sets * p.banks * p.assoc }
+
+func (p *PartialTags) index(set, bank, way int) int {
+	if bank < 0 || bank >= p.banks || way < 0 || way >= p.assoc {
+		panic(fmt.Sprintf("cache: partial tag index bank=%d way=%d out of range", bank, way))
+	}
+	return (set*p.banks+bank)*p.assoc + way
+}

@@ -1,0 +1,231 @@
+// Package cache provides the storage-array building blocks shared by every
+// cache design in the paper: set-associative tag arrays with LRU
+// replacement, 6-bit partial-tag stores, and a timed bank model with a
+// single contended port.
+package cache
+
+import (
+	"fmt"
+
+	"tlc/internal/mem"
+)
+
+// SetAssoc is a set-associative tag array with true-LRU replacement.
+// It tracks block presence only (this is a timing model, not a functional
+// memory): Insert returns the victim so callers can model write-backs and
+// migrations.
+type SetAssoc struct {
+	sets  int
+	assoc int
+	// lines[set*assoc+way] holds the block in that line; valid gates it.
+	lines []mem.Block
+	valid []bool
+	// lru[set*assoc+way] is the recency rank of the line: 0 = MRU,
+	// assoc-1 = LRU. Ranks within a set are always a permutation.
+	lru []uint8
+}
+
+// NewSetAssoc returns an empty array with the given geometry. Sets must be
+// a power of two (address arithmetic), assoc must fit the recency encoding.
+func NewSetAssoc(sets, assoc int) *SetAssoc {
+	if !mem.IsPow2(sets) {
+		panic(fmt.Sprintf("cache: sets=%d is not a power of two", sets))
+	}
+	if assoc <= 0 || assoc > 255 {
+		panic(fmt.Sprintf("cache: assoc=%d out of range", assoc))
+	}
+	n := sets * assoc
+	c := &SetAssoc{
+		sets:  sets,
+		assoc: assoc,
+		lines: make([]mem.Block, n),
+		valid: make([]bool, n),
+		lru:   make([]uint8, n),
+	}
+	for s := 0; s < sets; s++ {
+		for w := 0; w < assoc; w++ {
+			c.lru[s*assoc+w] = uint8(w)
+		}
+	}
+	return c
+}
+
+// Sets reports the number of sets.
+func (c *SetAssoc) Sets() int { return c.sets }
+
+// Assoc reports the associativity.
+func (c *SetAssoc) Assoc() int { return c.assoc }
+
+// Blocks reports the total line capacity.
+func (c *SetAssoc) Blocks() int { return c.sets * c.assoc }
+
+// Lookup reports whether b is present. It does not update recency; pair it
+// with Touch so probe-only paths (partial-tag checks, searches) leave the
+// replacement state unchanged.
+func (c *SetAssoc) Lookup(b mem.Block) bool {
+	_, ok := c.find(b)
+	return ok
+}
+
+// Touch marks b most-recently-used. It reports whether b was present.
+func (c *SetAssoc) Touch(b mem.Block) bool {
+	idx, ok := c.find(b)
+	if !ok {
+		return false
+	}
+	c.promote(b.SetIndex(c.sets), idx)
+	return true
+}
+
+// Access is Lookup+Touch: the normal hit path.
+func (c *SetAssoc) Access(b mem.Block) bool { return c.Touch(b) }
+
+// Insert installs b as MRU in its set, evicting the LRU line if the set is
+// full. It returns the evicted block and whether an eviction occurred.
+// Inserting a block that is already present just refreshes its recency.
+func (c *SetAssoc) Insert(b mem.Block) (victim mem.Block, evicted bool) {
+	if c.Touch(b) {
+		return 0, false
+	}
+	set := b.SetIndex(c.sets)
+	base := set * c.assoc
+	// Prefer an invalid way; otherwise evict the LRU way.
+	way := -1
+	for w := 0; w < c.assoc; w++ {
+		if !c.valid[base+w] {
+			way = w
+			break
+		}
+	}
+	if way == -1 {
+		for w := 0; w < c.assoc; w++ {
+			if c.lru[base+w] == uint8(c.assoc-1) {
+				way = w
+				break
+			}
+		}
+		victim = c.lines[base+way]
+		evicted = true
+	}
+	c.lines[base+way] = b
+	c.valid[base+way] = true
+	c.promote(set, base+way)
+	return victim, evicted
+}
+
+// Remove invalidates b (a migration extraction or external eviction) and
+// reports whether it was present. The freed way becomes LRU.
+func (c *SetAssoc) Remove(b mem.Block) bool {
+	idx, ok := c.find(b)
+	if !ok {
+		return false
+	}
+	set := b.SetIndex(c.sets)
+	base := set * c.assoc
+	was := c.lru[idx]
+	// Demote: every line below the removed one moves up a rank.
+	for w := 0; w < c.assoc; w++ {
+		if c.lru[base+w] > was {
+			c.lru[base+w]--
+		}
+	}
+	c.lru[idx] = uint8(c.assoc - 1)
+	c.valid[idx] = false
+	c.lines[idx] = 0
+	return true
+}
+
+// VictimOf reports which block would be evicted if b were inserted now,
+// without modifying anything. ok is false when the insert would not evict
+// (hit, or a free way exists).
+func (c *SetAssoc) VictimOf(b mem.Block) (victim mem.Block, ok bool) {
+	if _, present := c.find(b); present {
+		return 0, false
+	}
+	set := b.SetIndex(c.sets)
+	base := set * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if !c.valid[base+w] {
+			return 0, false
+		}
+	}
+	for w := 0; w < c.assoc; w++ {
+		if c.lru[base+w] == uint8(c.assoc-1) {
+			return c.lines[base+w], true
+		}
+	}
+	panic("cache: set has no LRU way") // unreachable: ranks are a permutation
+}
+
+// Occupancy reports the number of valid lines.
+func (c *SetAssoc) Occupancy() int {
+	n := 0
+	for _, v := range c.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// find returns the line index holding b.
+func (c *SetAssoc) find(b mem.Block) (int, bool) {
+	base := b.SetIndex(c.sets) * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.valid[base+w] && c.lines[base+w] == b {
+			return base + w, true
+		}
+	}
+	return 0, false
+}
+
+// promote makes line idx the MRU of set.
+func (c *SetAssoc) promote(set, idx int) {
+	base := set * c.assoc
+	was := c.lru[idx]
+	for w := 0; w < c.assoc; w++ {
+		if c.lru[base+w] < was {
+			c.lru[base+w]++
+		}
+	}
+	c.lru[idx] = 0
+}
+
+// Line is one resident (way, block) pair within a set.
+type Line struct {
+	Way   int
+	Block mem.Block
+}
+
+// LinesIn reports the valid lines of a set, in way order. Callers (the
+// DNUCA controller) use it to resynchronize partial-tag shadows after a
+// migration or fill mutates a set.
+func (c *SetAssoc) LinesIn(set int) []Line {
+	if set < 0 || set >= c.sets {
+		panic(fmt.Sprintf("cache: set %d out of range", set))
+	}
+	base := set * c.assoc
+	var out []Line
+	for w := 0; w < c.assoc; w++ {
+		if c.valid[base+w] {
+			out = append(out, Line{Way: w, Block: c.lines[base+w]})
+		}
+	}
+	return out
+}
+
+// checkLRUPermutation verifies the recency ranks of every set form a
+// permutation; used by tests.
+func (c *SetAssoc) checkLRUPermutation() error {
+	for s := 0; s < c.sets; s++ {
+		seen := make([]bool, c.assoc)
+		for w := 0; w < c.assoc; w++ {
+			r := c.lru[s*c.assoc+w]
+			if int(r) >= c.assoc || seen[r] {
+				return fmt.Errorf("set %d has invalid rank multiset", s)
+			}
+			seen[r] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,280 @@
+// Package config holds the paper's design and system parameter tables as
+// code: the six cache designs of Table 2, the transmission-line geometries
+// of Table 1, the simulated machine of Table 3, and the mesh floorplans
+// behind the NUCA latency ranges.
+package config
+
+import (
+	"fmt"
+
+	"tlc/internal/noc"
+	"tlc/internal/sim"
+	"tlc/internal/tline"
+)
+
+// Design identifies one of the six evaluated cache designs (Table 2).
+type Design int
+
+const (
+	SNUCA2 Design = iota
+	DNUCA
+	TLC
+	TLCOpt1000
+	TLCOpt500
+	TLCOpt350
+)
+
+// AllDesigns lists every design in Table 2 order.
+func AllDesigns() []Design {
+	return []Design{TLC, TLCOpt1000, TLCOpt500, TLCOpt350, SNUCA2, DNUCA}
+}
+
+// TLCFamily lists the four transmission-line designs (Figures 7-8).
+func TLCFamily() []Design {
+	return []Design{TLC, TLCOpt1000, TLCOpt500, TLCOpt350}
+}
+
+func (d Design) String() string {
+	switch d {
+	case SNUCA2:
+		return "SNUCA2"
+	case DNUCA:
+		return "DNUCA"
+	case TLC:
+		return "TLC"
+	case TLCOpt1000:
+		return "TLCopt1000"
+	case TLCOpt500:
+		return "TLCopt500"
+	case TLCOpt350:
+		return "TLCopt350"
+	default:
+		return fmt.Sprintf("Design(%d)", int(d))
+	}
+}
+
+// System holds the Table 3 machine parameters shared by every run.
+type System struct {
+	// L1Bytes, L1Assoc, L1Latency describe each split L1 (I and D).
+	L1Bytes   int
+	L1Assoc   int
+	L1Latency sim.Time
+	// L2Bytes is the unified L2 capacity.
+	L2Bytes int
+	// L2Assoc is the per-set associativity of the TLC/SNUCA designs.
+	L2Assoc int
+	// MemoryLatency is the flat DRAM access latency.
+	MemoryLatency sim.Time
+	// MaxOutstanding bounds in-flight memory requests (MSHRs).
+	MaxOutstanding int
+	// ROBEntries, SchedulerEntries, FetchWidth, PipelineStages describe
+	// the dynamically scheduled core.
+	ROBEntries, SchedulerEntries, FetchWidth, PipelineStages int
+}
+
+// DefaultSystem is the simulated machine of Table 3.
+func DefaultSystem() System {
+	return System{
+		L1Bytes:          64 * 1024,
+		L1Assoc:          2,
+		L1Latency:        3,
+		L2Bytes:          16 * 1024 * 1024,
+		L2Assoc:          4,
+		MemoryLatency:    300,
+		MaxOutstanding:   8,
+		ROBEntries:       128,
+		SchedulerEntries: 64,
+		FetchWidth:       4,
+		PipelineStages:   30,
+	}
+}
+
+// TLCParams describes one member of the TLC family (Table 2 plus the link
+// widths derived from its transmission-line budget).
+type TLCParams struct {
+	Design Design
+	// Banks is the number of storage banks.
+	Banks int
+	// BanksPerBlock is how many banks one 64-byte block is striped across.
+	BanksPerBlock int
+	// BankBytes is the per-bank capacity.
+	BankBytes int
+	// BankAccess is the ECACTI bank access latency, cycles.
+	BankAccess sim.Time
+	// LinesPerPair is the transmission-line count shared by a bank pair.
+	LinesPerPair int
+	// DownBits / UpBits split each pair's lines into the request
+	// (controller->banks) and response (banks->controller) links.
+	DownBits, UpBits int
+	// TLCycles is the one-way transmission-line flight+interface latency.
+	TLCycles sim.Time
+	// CtrlWireMax is the worst-case conventional-wire delay inside the
+	// cache controller, from the transmission-line landing point to the
+	// controller center (up to 3 cycles for the base design). Per-pair
+	// values are spread evenly across [0, CtrlWireMax].
+	CtrlWireMax sim.Time
+	// PartialTagInBank marks the optimized designs, which ship only a
+	// 6-bit partial tag to the banks and resolve full tags at the
+	// controller.
+	PartialTagInBank bool
+}
+
+// TotalLines reports the design's total transmission-line count (Table 2).
+func (p TLCParams) TotalLines() int { return p.LinesPerPair * p.Banks / 2 }
+
+// Pairs reports the number of bank pairs.
+func (p TLCParams) Pairs() int { return p.Banks / 2 }
+
+// Groups reports the number of independent block groups: blocks are striped
+// across BanksPerBlock banks, so Banks/BanksPerBlock groups each hold
+// complete blocks.
+func (p TLCParams) Groups() int { return p.Banks / p.BanksPerBlock }
+
+// TLCFor returns the Table 2 parameters of a TLC-family design.
+func TLCFor(d Design) TLCParams {
+	switch d {
+	case TLC:
+		// 32 x 512 KB banks; each pair shares two 8-byte unidirectional
+		// links (64 down + 64 up = 128 lines); uncontended 10-16 cycles:
+		// 8 (bank) + 2 (TL each way) + 0..6 (controller wires, 0-3 per
+		// direction by landing position).
+		return TLCParams{
+			Design: TLC, Banks: 32, BanksPerBlock: 1, BankBytes: 512 * 1024,
+			BankAccess: 8, LinesPerPair: 128, DownBits: 64, UpBits: 64,
+			TLCycles: 1, CtrlWireMax: 3,
+		}
+	case TLCOpt1000:
+		// 16 x 1 MB banks, blocks striped across the 2 banks of a pair;
+		// 126 lines per pair: 30-bit request link (set index + partial
+		// tag + command), 96-bit response link shared by the pair.
+		// Uncontended 12-13: 10 (bank) + 2 (TL) + 0..1 (controller).
+		return TLCParams{
+			Design: TLCOpt1000, Banks: 16, BanksPerBlock: 2, BankBytes: 1024 * 1024,
+			BankAccess: 10, LinesPerPair: 126, DownBits: 30, UpBits: 96,
+			TLCycles: 1, CtrlWireMax: 1, PartialTagInBank: true,
+		}
+	case TLCOpt500:
+		// Blocks striped across 4 banks (2 pairs); 64 lines per pair:
+		// 16 down + 48 up. Uncontended 12 flat.
+		return TLCParams{
+			Design: TLCOpt500, Banks: 16, BanksPerBlock: 4, BankBytes: 1024 * 1024,
+			BankAccess: 10, LinesPerPair: 64, DownBits: 16, UpBits: 48,
+			TLCycles: 1, CtrlWireMax: 0, PartialTagInBank: true,
+		}
+	case TLCOpt350:
+		// Blocks striped across 8 banks (4 pairs); 44 lines per pair:
+		// 12 down + 32 up. Uncontended 12 flat.
+		return TLCParams{
+			Design: TLCOpt350, Banks: 16, BanksPerBlock: 8, BankBytes: 1024 * 1024,
+			BankAccess: 10, LinesPerPair: 44, DownBits: 12, UpBits: 32,
+			TLCycles: 1, CtrlWireMax: 0, PartialTagInBank: true,
+		}
+	default:
+		panic(fmt.Sprintf("config: %v is not a TLC-family design", d))
+	}
+}
+
+// LinkGeometry maps a bank-pair index to its Table 1 transmission-line
+// geometry: pairs land on the controller in order of distance, so the
+// nearest quarter uses the 0.9 cm lines, the middle half 1.1 cm, and the
+// farthest quarter 1.3 cm.
+func LinkGeometry(pair, pairs int) tline.Geometry {
+	g := tline.Table1()
+	switch {
+	case pair < pairs/4:
+		return g[0]
+	case pair < 3*pairs/4:
+		return g[1]
+	default:
+		return g[2]
+	}
+}
+
+// NUCAParams describes one NUCA design: bank organization plus mesh
+// floorplan.
+type NUCAParams struct {
+	Design Design
+	// Banks, BankBytes, BankAssoc, BankAccess describe the storage.
+	Banks      int
+	BankBytes  int
+	BankAssoc  int
+	BankAccess sim.Time
+	// Mesh is the interconnect floorplan.
+	Mesh noc.Config
+	// BankSets is the number of DNUCA bank sets (columns); zero for the
+	// static design.
+	BankSets int
+	// PTagLatency is the DNUCA controller partial-tag access time.
+	PTagLatency sim.Time
+}
+
+// NUCAFor returns the parameters of a NUCA design.
+//
+// The floorplans are arranged so the uncontended latency ranges land on
+// Table 2: SNUCA2 9-32 cycles (8-cycle banks, round-trip network 1-24 over
+// a 4x8 grid of 512 KB banks with 1.5-cycle-tall rows), DNUCA 3-47 cycles
+// (3-cycle banks, round-trip network 0-44 over a 16x16 grid of 64 KB
+// banks).
+func NUCAFor(d Design) NUCAParams {
+	switch d {
+	case SNUCA2:
+		cols := 4
+		rows := 8
+		req := make([]sim.Time, rows)
+		resp := make([]sim.Time, rows)
+		for r := 0; r < rows; r++ {
+			// 1.5 cycles per 512 KB bank pitch: alternate 2/1 on the
+			// request path and 1/2 on the response path so the round trip
+			// sums to exactly 3 per row.
+			if r%2 == 0 {
+				req[r], resp[r] = 2, 1
+			} else {
+				req[r], resp[r] = 1, 2
+			}
+		}
+		return NUCAParams{
+			Design: SNUCA2, Banks: 32, BankBytes: 512 * 1024, BankAssoc: 4, BankAccess: 8,
+			Mesh: noc.Config{
+				Cols: cols, Rows: rows,
+				ColDist:     []int{1, 0, 0, 1},
+				SpineSegLat: 1,
+				VertReqLat:  req, VertRespLat: resp,
+				IngressLat: 1,
+				FlitBytes:  16,
+				SpineSegMM: 1.6, VertSegMM: 1.6,
+			},
+		}
+	case DNUCA:
+		cols := 16
+		rows := 16
+		req := make([]sim.Time, rows)
+		resp := make([]sim.Time, rows)
+		for r := 0; r < rows; r++ {
+			req[r], resp[r] = 1, 1
+		}
+		dist := make([]int, cols)
+		for c := 0; c < cols; c++ {
+			d := c - 8
+			if c < 8 {
+				d = 7 - c
+			}
+			dist[c] = d
+		}
+		return NUCAParams{
+			Design: DNUCA, Banks: 256, BankBytes: 64 * 1024, BankAssoc: 2, BankAccess: 3,
+			Mesh: noc.Config{
+				Cols: cols, Rows: rows,
+				ColDist:     dist,
+				SpineSegLat: 1,
+				VertReqLat:  req, VertRespLat: resp,
+				IngressLat: 0,
+				FlitBytes:  16,
+				SpineSegMM: 0.6, VertSegMM: 0.6,
+			},
+			BankSets:    cols,
+			PTagLatency: 4,
+		}
+	default:
+		panic(fmt.Sprintf("config: %v is not a NUCA design", d))
+	}
+}

@@ -1,0 +1,205 @@
+package config
+
+import (
+	"testing"
+
+	"tlc/internal/noc"
+	"tlc/internal/tline"
+)
+
+func TestTable2TotalLines(t *testing.T) {
+	// Table 2, column "Total Transmission Lines Used".
+	want := map[Design]int{
+		TLC:        2048,
+		TLCOpt1000: 1008,
+		TLCOpt500:  512,
+		TLCOpt350:  352,
+	}
+	for d, lines := range want {
+		if got := TLCFor(d).TotalLines(); got != lines {
+			t.Errorf("%v total lines %d, want %d", d, got, lines)
+		}
+	}
+}
+
+func TestTable2BankCounts(t *testing.T) {
+	for _, tc := range []struct {
+		d             Design
+		banks, perBlk int
+		bankKB        int
+		access        int
+	}{
+		{TLC, 32, 1, 512, 8},
+		{TLCOpt1000, 16, 2, 1024, 10},
+		{TLCOpt500, 16, 4, 1024, 10},
+		{TLCOpt350, 16, 8, 1024, 10},
+	} {
+		p := TLCFor(tc.d)
+		if p.Banks != tc.banks || p.BanksPerBlock != tc.perBlk ||
+			p.BankBytes != tc.bankKB*1024 || int(p.BankAccess) != tc.access {
+			t.Errorf("%v parameters %+v do not match Table 2", tc.d, p)
+		}
+	}
+}
+
+func TestTLCCapacityIs16MB(t *testing.T) {
+	for _, d := range TLCFamily() {
+		p := TLCFor(d)
+		if p.Banks*p.BankBytes != 16*1024*1024 {
+			t.Errorf("%v capacity %d bytes, want 16 MB", d, p.Banks*p.BankBytes)
+		}
+	}
+}
+
+func TestLinkBudgetsFitLineCounts(t *testing.T) {
+	// The down+up split per pair must not exceed the pair's line budget.
+	for _, d := range TLCFamily() {
+		p := TLCFor(d)
+		if p.DownBits+p.UpBits > p.LinesPerPair {
+			t.Errorf("%v link split %d+%d exceeds %d lines per pair",
+				d, p.DownBits, p.UpBits, p.LinesPerPair)
+		}
+	}
+}
+
+func TestGroups(t *testing.T) {
+	if TLCFor(TLC).Groups() != 32 {
+		t.Fatal("base TLC should have 32 single-bank groups")
+	}
+	if TLCFor(TLCOpt350).Groups() != 2 {
+		t.Fatal("TLCopt350 stripes across 8 of 16 banks: 2 groups")
+	}
+}
+
+func TestNUCACapacities(t *testing.T) {
+	s := NUCAFor(SNUCA2)
+	if s.Banks*s.BankBytes != 16*1024*1024 || s.Banks != 32 {
+		t.Fatalf("SNUCA2 storage %+v does not match Table 2", s)
+	}
+	d := NUCAFor(DNUCA)
+	if d.Banks*d.BankBytes != 16*1024*1024 || d.Banks != 256 {
+		t.Fatalf("DNUCA storage %+v does not match Table 2", d)
+	}
+	if d.BankSets != 16 {
+		t.Fatalf("DNUCA bank sets %d, want 16", d.BankSets)
+	}
+	// Aggregate associativity: 16 banks per set x 2 ways = 32 ("+30-way").
+	if got := d.Banks / d.BankSets * d.BankAssoc; got != 32 {
+		t.Fatalf("DNUCA aggregate associativity %d, want 32", got)
+	}
+}
+
+func TestNUCAMeshLatencyRanges(t *testing.T) {
+	// Table 2 uncontended latency: SNUCA2 9-32, DNUCA 3-47. The mesh
+	// round trip plus bank access must land on those ranges.
+	s := NUCAFor(SNUCA2)
+	sm := noc.New(s.Mesh)
+	min, max := ^uint64(0), uint64(0)
+	for c := 0; c < s.Mesh.Cols; c++ {
+		for r := 0; r < s.Mesh.Rows; r++ {
+			lat := uint64(s.BankAccess + sm.UncontendedRoundTrip(c, r))
+			if lat < min {
+				min = lat
+			}
+			if lat > max {
+				max = lat
+			}
+		}
+	}
+	if min != 9 || max != 32 {
+		t.Fatalf("SNUCA2 uncontended range %d-%d, want 9-32", min, max)
+	}
+
+	d := NUCAFor(DNUCA)
+	dm := noc.New(d.Mesh)
+	min, max = ^uint64(0), 0
+	for c := 0; c < d.Mesh.Cols; c++ {
+		for r := 0; r < d.Mesh.Rows; r++ {
+			lat := uint64(d.BankAccess + dm.UncontendedRoundTrip(c, r))
+			if lat < min {
+				min = lat
+			}
+			if lat > max {
+				max = lat
+			}
+		}
+	}
+	if min != 3 || max != 47 {
+		t.Fatalf("DNUCA uncontended range %d-%d, want 3-47", min, max)
+	}
+}
+
+func TestLinkGeometryOrdering(t *testing.T) {
+	// Nearer pairs use the shorter Table 1 lines.
+	near := LinkGeometry(0, 16)
+	mid := LinkGeometry(8, 16)
+	far := LinkGeometry(15, 16)
+	if near.LengthCM != 0.9 || mid.LengthCM != 1.1 || far.LengthCM != 1.3 {
+		t.Fatalf("geometry assignment %v/%v/%v cm, want 0.9/1.1/1.3",
+			near.LengthCM, mid.LengthCM, far.LengthCM)
+	}
+	// Every assigned geometry must pass signal-integrity acceptance.
+	for pr := 0; pr < 16; pr++ {
+		if !tline.Analyze(LinkGeometry(pr, 16)).OK {
+			t.Errorf("pair %d geometry fails signal integrity", pr)
+		}
+	}
+}
+
+func TestDesignStrings(t *testing.T) {
+	names := map[Design]string{
+		SNUCA2: "SNUCA2", DNUCA: "DNUCA", TLC: "TLC",
+		TLCOpt1000: "TLCopt1000", TLCOpt500: "TLCopt500", TLCOpt350: "TLCopt350",
+	}
+	for d, want := range names {
+		if d.String() != want {
+			t.Errorf("design %d prints %q, want %q", int(d), d.String(), want)
+		}
+	}
+	if Design(99).String() != "Design(99)" {
+		t.Error("unknown design should format numerically")
+	}
+}
+
+func TestAllDesignsComplete(t *testing.T) {
+	if len(AllDesigns()) != 6 {
+		t.Fatal("AllDesigns should list the six Table 2 designs")
+	}
+	if len(TLCFamily()) != 4 {
+		t.Fatal("TLCFamily should list four designs")
+	}
+}
+
+func TestDefaultSystemMatchesTable3(t *testing.T) {
+	s := DefaultSystem()
+	if s.L1Bytes != 64*1024 || s.L1Assoc != 2 || s.L1Latency != 3 {
+		t.Fatal("L1 parameters do not match Table 3")
+	}
+	if s.L2Bytes != 16*1024*1024 || s.L2Assoc != 4 {
+		t.Fatal("L2 parameters do not match Table 3")
+	}
+	if s.MemoryLatency != 300 || s.MaxOutstanding != 8 {
+		t.Fatal("memory parameters do not match Table 3")
+	}
+	if s.ROBEntries != 128 || s.SchedulerEntries != 64 || s.FetchWidth != 4 || s.PipelineStages != 30 {
+		t.Fatal("core parameters do not match Table 3")
+	}
+}
+
+func TestTLCForPanicsOnNUCA(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("TLCFor(DNUCA) did not panic")
+		}
+	}()
+	TLCFor(DNUCA)
+}
+
+func TestNUCAForPanicsOnTLC(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NUCAFor(TLC) did not panic")
+		}
+	}()
+	NUCAFor(TLC)
+}

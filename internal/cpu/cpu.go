@@ -1,0 +1,279 @@
+// Package cpu is the dynamically scheduled processor timing model of
+// Table 3: 4-wide fetch/issue, 128-entry reorder buffer, 64-entry
+// scheduler window, split 64 KB 2-way L1 caches at 3 cycles, up to 8
+// outstanding memory requests, and a 300-cycle memory behind the L2 under
+// test.
+//
+// It substitutes for the paper's Simics + timing-first setup: instructions
+// come from a synthetic trace (package workload), and the model preserves
+// exactly the sensitivities the paper's results depend on — tolerance of
+// short L2 latencies through out-of-order overlap, serialization of
+// dependent loads, and stalls on L2 misses bounded by the MSHR count.
+package cpu
+
+import (
+	"tlc/internal/cache"
+	"tlc/internal/config"
+	"tlc/internal/l2"
+	"tlc/internal/mem"
+	"tlc/internal/sim"
+)
+
+// Instr is one instruction of a synthetic trace.
+type Instr struct {
+	// IsMem marks loads and stores; other instructions execute in one
+	// cycle.
+	IsMem bool
+	// IsStore distinguishes stores from loads (meaningful when IsMem).
+	IsStore bool
+	// Block is the 64-byte block the memory op touches.
+	Block mem.Block
+	// Dep marks an instruction that depends on the most recent
+	// instruction of its kind: a dependent load cannot issue before the
+	// previous load completes (pointer chasing); a dependent ALU op
+	// cannot issue before the previous instruction completes (serial
+	// integer chains, the ILP limiter).
+	Dep bool
+	// Mispredict marks a mispredicted branch: the front end restarts,
+	// costing a pipeline refill (Table 3: 30 stages).
+	Mispredict bool
+}
+
+// Stream produces a deterministic instruction sequence.
+type Stream interface {
+	Next() Instr
+}
+
+// Result summarizes one timed run.
+type Result struct {
+	Instructions uint64
+	Cycles       sim.Time
+	L1DHits      uint64
+	L1DMisses    uint64
+	L2Loads      uint64
+	L2Stores     uint64
+}
+
+// IPC reports retired instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// Core drives a Stream against an L2 design.
+type Core struct {
+	sys config.System
+	l2  l2.Cache
+
+	l1    *cache.SetAssoc
+	dirty map[mem.Block]bool
+
+	// retire ring buffer: retire[i % ROB] is instruction i's retire time.
+	retire []sim.Time
+	// issued ring buffer: issued[i % sched] is when instruction i left the
+	// scheduler (operands ready). A waiting instruction occupies a
+	// scheduler entry, so instruction i cannot enter the window before
+	// instruction i-sched has issued — the constraint that exposes L2
+	// latencies beyond the 64-entry window's reach (Table 3).
+	issued []sim.Time
+	// outstanding L2 load completion times (MSHR occupancy), a small
+	// sorted multiset maintained in place.
+	outstanding []sim.Time
+	lastLoad    sim.Time
+	// prevComplete is the previous instruction's completion, for serial
+	// ALU chains.
+	prevComplete sim.Time
+	// fetchPenalty accumulates branch-misprediction pipeline refills.
+	fetchPenalty sim.Time
+
+	res Result
+}
+
+// New builds a core over the given L2.
+func New(sys config.System, l2c l2.Cache) *Core {
+	sets := sys.L1Bytes / mem.BlockBytes / sys.L1Assoc
+	return &Core{
+		sys:    sys,
+		l2:     l2c,
+		l1:     cache.NewSetAssoc(sets, sys.L1Assoc),
+		dirty:  make(map[mem.Block]bool),
+		retire: make([]sim.Time, sys.ROBEntries),
+		issued: make([]sim.Time, sys.SchedulerEntries),
+	}
+}
+
+// Warm advances the stream n instructions functionally: L1 state and L2
+// contents update with no timing, so the measured interval starts from a
+// steady-state cache.
+func (c *Core) Warm(s Stream, n uint64) {
+	for i := uint64(0); i < n; i++ {
+		in := s.Next()
+		if !in.IsMem {
+			continue
+		}
+		if c.l1.Access(in.Block) {
+			if in.IsStore {
+				c.dirty[in.Block] = true
+			}
+			continue
+		}
+		// L1 miss reaches the L2 functionally.
+		victim, evicted := c.l1.Insert(in.Block)
+		if evicted && c.dirty[victim] {
+			delete(c.dirty, victim)
+			c.l2.Warm(victim)
+		}
+		if in.IsStore {
+			c.dirty[in.Block] = true
+		} else {
+			c.l2.Warm(in.Block)
+		}
+	}
+}
+
+// Run times n instructions and returns the result. It may be called after
+// Warm on the same stream.
+func (c *Core) Run(s Stream, n uint64) Result {
+	c.res = Result{Instructions: n}
+	rob := uint64(c.sys.ROBEntries)
+	sched := uint64(c.sys.SchedulerEntries)
+	width := sim.Time(c.sys.FetchWidth)
+	var last sim.Time
+	for i := uint64(0); i < n; i++ {
+		in := s.Next()
+		// Fetch bandwidth: FetchWidth instructions per cycle, pushed back
+		// by accumulated misprediction refills.
+		issue := sim.Time(i)/width + c.fetchPenalty
+		// ROB availability: instruction i needs instruction i-ROB retired.
+		if i >= rob {
+			if t := c.retire[i%rob]; t > issue {
+				issue = t
+			}
+		}
+		// Scheduler availability: instruction i-sched must have issued.
+		if i >= sched {
+			if t := c.issued[i%sched]; t > issue {
+				issue = t
+			}
+		}
+		issueAt, complete := c.execute(issue, in)
+		c.issued[i%sched] = issueAt
+		if in.Mispredict {
+			c.fetchPenalty += sim.Time(c.sys.PipelineStages)
+		}
+		c.prevComplete = complete
+		// In-order retirement at fetch width.
+		slot := c.retire[(i+rob-1)%rob] // previous instruction's retire
+		if i == 0 {
+			slot = 0
+		}
+		if complete > slot {
+			slot = complete
+		}
+		if i >= uint64(width) {
+			if t := c.retire[(i-uint64(width))%rob] + 1; t > slot {
+				slot = t
+			}
+		}
+		c.retire[i%rob] = slot
+		last = slot
+	}
+	c.res.Cycles = last
+	return c.res
+}
+
+// execute computes an instruction's issue (operands ready, scheduler entry
+// freed) and completion times, given the earliest window entry `issue`.
+func (c *Core) execute(issue sim.Time, in Instr) (issueAt, complete sim.Time) {
+	if !in.IsMem {
+		if in.Dep && c.prevComplete > issue {
+			issue = c.prevComplete
+		}
+		return issue, issue + 1
+	}
+	if in.IsStore {
+		// Stores retire through the store buffer in one cycle; the cache
+		// update happens off the critical path.
+		c.accessL1(issue, in.Block, true)
+		return issue, issue + 1
+	}
+	if in.Dep && c.lastLoad > issue {
+		issue = c.lastLoad
+	}
+	complete = c.accessL1(issue, in.Block, false)
+	c.lastLoad = complete
+	return issue, complete
+}
+
+// accessL1 performs the L1 lookup, escalating to the L2 on a miss, and
+// returns the data-ready time (loads) or the update time (stores).
+func (c *Core) accessL1(at sim.Time, b mem.Block, store bool) sim.Time {
+	if c.l1.Access(b) {
+		c.res.L1DHits++
+		if store {
+			c.dirty[b] = true
+		}
+		return at + c.sys.L1Latency
+	}
+	c.res.L1DMisses++
+	victim, evicted := c.l1.Insert(b)
+	if evicted && c.dirty[victim] {
+		delete(c.dirty, victim)
+		// Dirty writeback to the L2 (the TLC "store" path: written
+		// without a tag comparison, fire-and-forget).
+		c.l2.Access(at, mem.Request{Block: victim, Type: mem.Store})
+		c.res.L2Stores++
+	}
+	if store {
+		// Write-allocate without fetch: timing-only model.
+		c.dirty[b] = true
+		return at + c.sys.L1Latency
+	}
+	// Load miss: bounded by the outstanding-request limit.
+	start := c.mshrAdmit(at)
+	out := c.l2.Access(start, mem.Request{Block: b, Type: mem.Load})
+	c.res.L2Loads++
+	c.mshrTrack(out.CompleteAt)
+	return out.CompleteAt
+}
+
+// mshrAdmit delays a request while all MSHRs are busy and returns its
+// admission time.
+func (c *Core) mshrAdmit(at sim.Time) sim.Time {
+	// Drop completed entries.
+	live := c.outstanding[:0]
+	for _, t := range c.outstanding {
+		if t > at {
+			live = append(live, t)
+		}
+	}
+	c.outstanding = live
+	if len(c.outstanding) < c.sys.MaxOutstanding {
+		return at
+	}
+	// Wait for the earliest completion, then free that entry.
+	earliest := c.outstanding[0]
+	for _, t := range c.outstanding[1:] {
+		if t < earliest {
+			earliest = t
+		}
+	}
+	removed := false
+	live = c.outstanding[:0]
+	for _, t := range c.outstanding {
+		if !removed && t == earliest {
+			removed = true
+			continue
+		}
+		live = append(live, t)
+	}
+	c.outstanding = live
+	return earliest
+}
+
+// mshrTrack records a new outstanding completion.
+func (c *Core) mshrTrack(completeAt sim.Time) {
+	c.outstanding = append(c.outstanding, completeAt)
+}

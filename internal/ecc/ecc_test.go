@@ -1,0 +1,154 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCleanWordDecodesOK(t *testing.T) {
+	for _, w := range []uint64{0, 1, 0xdeadbeefcafef00d, ^uint64(0)} {
+		c := Encode(w)
+		got, res := Decode(w, c)
+		if res != OK || got != w {
+			t.Fatalf("clean word %#x decoded (%#x,%v)", w, got, res)
+		}
+	}
+}
+
+func TestSingleDataBitFlipCorrected(t *testing.T) {
+	w := uint64(0x123456789abcdef0)
+	c := Encode(w)
+	for bit := 0; bit < 64; bit++ {
+		corrupted := w ^ 1<<uint(bit)
+		got, res := Decode(corrupted, c)
+		if res != Corrected {
+			t.Fatalf("bit %d flip classified %v", bit, res)
+		}
+		if got != w {
+			t.Fatalf("bit %d flip not repaired: %#x != %#x", bit, got, w)
+		}
+	}
+}
+
+func TestSingleCheckBitFlipCorrected(t *testing.T) {
+	w := uint64(0xfeedface12345678)
+	c := Encode(w)
+	for bit := 0; bit < 8; bit++ {
+		got, res := Decode(w, c^1<<uint(bit))
+		if res != Corrected {
+			t.Fatalf("check bit %d flip classified %v", bit, res)
+		}
+		if got != w {
+			t.Fatalf("check bit %d flip corrupted data", bit)
+		}
+	}
+}
+
+func TestDoubleDataBitFlipDetected(t *testing.T) {
+	w := uint64(0x0f0f0f0f0f0f0f0f)
+	c := Encode(w)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		a := rng.Intn(64)
+		b := rng.Intn(64)
+		if a == b {
+			continue
+		}
+		corrupted := w ^ 1<<uint(a) ^ 1<<uint(b)
+		_, res := Decode(corrupted, c)
+		if res != Uncorrectable {
+			t.Fatalf("double flip (%d,%d) classified %v", a, b, res)
+		}
+	}
+}
+
+func TestDataPlusCheckFlipDetectedOrSafe(t *testing.T) {
+	// One data bit plus one check bit: even total weight change =>
+	// detected as uncorrectable (we never miscorrect silently into wrong
+	// data classified OK).
+	w := uint64(0xaaaa5555aaaa5555)
+	c := Encode(w)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		db := rng.Intn(64)
+		cb := rng.Intn(8)
+		got, res := Decode(w^1<<uint(db), c^1<<uint(cb))
+		if res == OK {
+			t.Fatal("two flips classified OK")
+		}
+		if res == Corrected && got != w {
+			t.Fatalf("miscorrection accepted: %#x != %#x", got, w)
+		}
+		// Uncorrectable is the expected, safe outcome.
+	}
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	var payload [WordsPerBlock]uint64
+	rng := rand.New(rand.NewSource(3))
+	for i := range payload {
+		payload[i] = rng.Uint64()
+	}
+	b := EncodeBlock(payload)
+	got, res, corrected := DecodeBlock(b)
+	if res != OK || corrected != 0 || got != payload {
+		t.Fatal("clean block round trip failed")
+	}
+	// One flip in each of three words: all corrected.
+	b.Data[1] ^= 1 << 5
+	b.Data[4] ^= 1 << 63
+	b.Data[7] ^= 1
+	got, res, corrected = DecodeBlock(b)
+	if res != Corrected || corrected != 3 || got != payload {
+		t.Fatalf("triple single-bit repair failed: %v corrected=%d", res, corrected)
+	}
+	// A double flip in one word poisons the block.
+	b.Data[2] ^= 3
+	_, res, _ = DecodeBlock(b)
+	if res != Uncorrectable {
+		t.Fatalf("double flip classified %v", res)
+	}
+}
+
+func TestOverheadConstants(t *testing.T) {
+	if BlockOverheadBits != 64 {
+		t.Fatalf("block overhead %d bits, want 64 (an eighth of the payload)", BlockOverheadBits)
+	}
+}
+
+// Property: for random words, any single flip anywhere in the 72-bit
+// codeword is repaired to the original data.
+func TestQuickSingleFlipAlwaysRepaired(t *testing.T) {
+	f := func(w uint64, pos uint8) bool {
+		c := Encode(w)
+		p := int(pos) % 72
+		var gd uint64
+		var gc uint8
+		if p < 64 {
+			gd, gc = w^1<<uint(p), c
+		} else {
+			gd, gc = w, c^1<<uint(p-64)
+		}
+		got, res := Decode(gd, gc)
+		return res == Corrected && got == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distinct single-bit data flips produce distinct syndromes
+// (the code is a proper Hamming code).
+func TestQuickSyndromesDistinct(t *testing.T) {
+	w := uint64(0)
+	c := Encode(w)
+	seen := map[uint8]int{}
+	for bit := 0; bit < 64; bit++ {
+		syn := (Encode(w^1<<uint(bit)) ^ c) & 0x7f
+		if prev, dup := seen[syn]; dup {
+			t.Fatalf("bits %d and %d share syndrome %#x", prev, bit, syn)
+		}
+		seen[syn] = bit
+	}
+}

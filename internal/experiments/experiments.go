@@ -1,0 +1,255 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6) from the simulation stack: the per-experiment
+// index in DESIGN.md maps each function here to its table or figure.
+// Simulation results are cached per (design, benchmark) within a Suite so
+// tables that share runs (Table 6, Table 9, Figures 5-8) pay for each run
+// once.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"tlc"
+	"tlc/internal/config"
+	"tlc/internal/report"
+	"tlc/internal/tline"
+	"tlc/internal/wire"
+)
+
+// Suite caches simulation runs for one Options setting.
+type Suite struct {
+	Opt tlc.Options
+
+	mu    sync.Mutex
+	cache map[runKey]tlc.Result
+}
+
+type runKey struct {
+	d     tlc.Design
+	bench string
+}
+
+// NewSuite builds a suite with the given run options.
+func NewSuite(opt tlc.Options) *Suite {
+	return &Suite{Opt: opt, cache: make(map[runKey]tlc.Result)}
+}
+
+// Default returns a suite at the standard scaled run length.
+func Default() *Suite { return NewSuite(tlc.DefaultOptions()) }
+
+// Run returns the cached result for (design, benchmark), simulating on
+// first use. Runs for distinct keys may proceed concurrently via RunAll.
+func (s *Suite) Run(d tlc.Design, bench string) tlc.Result {
+	key := runKey{d, bench}
+	s.mu.Lock()
+	if r, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return r
+	}
+	s.mu.Unlock()
+	r, err := tlc.Run(d, bench, s.Opt)
+	if err != nil {
+		panic(err) // benchmarks come from tlc.Benchmarks(); unknown = bug
+	}
+	s.mu.Lock()
+	s.cache[key] = r
+	s.mu.Unlock()
+	return r
+}
+
+// Prefetch runs the given design/benchmark grid concurrently, bounded by
+// par workers, so subsequent table builds hit the cache.
+func (s *Suite) Prefetch(designs []tlc.Design, benches []string, par int) {
+	if par < 1 {
+		par = 1
+	}
+	type job struct {
+		d tlc.Design
+		b string
+	}
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				s.Run(j.d, j.b)
+			}
+		}()
+	}
+	for _, d := range designs {
+		for _, b := range benches {
+			jobs <- job{d, b}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// Table1 reproduces Table 1 plus the physical quantities the paper's
+// HSPICE study validates: extracted Z0, flight time, received amplitude,
+// and pulse width, with the two acceptance criteria.
+func Table1() *report.Table {
+	t := report.NewTable("Table 1: Transmission Line Dimensions and Signal Integrity",
+		"Length", "W (um)", "S (um)", "H (um)", "T (um)", "Z0 (ohm)", "Flight (ps)", "Amplitude (xVdd)", "Pulse (ps)", "OK")
+	for _, rep := range tlc.AnalyzeLines() {
+		g := rep.Geometry
+		t.AddRow(fmt.Sprintf("%.1f cm", g.LengthCM), g.WidthUM, g.SpacingUM, g.HeightUM, g.ThicknessUM,
+			rep.RLC.Z0, rep.FlightPs, rep.AmplitudeFrac, rep.PulseWidthPs, fmt.Sprintf("%v", rep.OK))
+	}
+	return t
+}
+
+// Table2 reproduces the design-parameter table.
+func Table2() *report.Table {
+	t := report.NewTable("Table 2: Design Parameters",
+		"Design", "Banks", "Banks/Block", "Bank Size", "Lines/Pair", "Total Lines", "Uncontended Latency", "Bank Access")
+	for _, d := range tlc.Designs() {
+		min, max := tlc.UncontendedRange(d)
+		lat := fmt.Sprintf("%d - %d cycles", min, max)
+		if min == max {
+			lat = fmt.Sprintf("%d cycles", min)
+		}
+		switch d {
+		case tlc.DesignSNUCA2, tlc.DesignDNUCA:
+			p := config.NUCAFor(d)
+			t.AddRow(d.String(), p.Banks, 1, fmt.Sprintf("%d KB", p.BankBytes/1024),
+				"n/a", "n/a", lat, fmt.Sprintf("%d cycles", p.BankAccess))
+		default:
+			p := config.TLCFor(d)
+			t.AddRow(d.String(), p.Banks, p.BanksPerBlock, fmt.Sprintf("%d KB", p.BankBytes/1024),
+				p.LinesPerPair, p.TotalLines(), lat, fmt.Sprintf("%d cycles", p.BankAccess))
+		}
+	}
+	return t
+}
+
+// Table6 reproduces the benchmark-characteristics table.
+func (s *Suite) Table6() *report.Table {
+	t := report.NewTable("Table 6: Benchmark Characteristics",
+		"Bench", "L2 Req/1K", "TLC miss/1K", "DNUCA miss/1K", "DNUCA close%", "DNUCA prom/ins", "TLC pred%", "DNUCA pred%")
+	for _, b := range tlc.Benchmarks() {
+		tr := s.Run(tlc.DesignTLC, b)
+		dr := s.Run(tlc.DesignDNUCA, b)
+		reqPer1K := float64(tr.L2Loads+tr.L2Stores) / float64(tr.Instructions) * 1000
+		t.AddRow(b, reqPer1K, tr.MissesPer1K, dr.MissesPer1K, dr.CloseHitPct,
+			dr.PromotesPerInsert, tr.PredictablePct, dr.PredictablePct)
+	}
+	return t
+}
+
+// Table7 reproduces the substrate-area table.
+func Table7() *report.Table {
+	t := report.NewTable("Table 7: Consumed Substrate Area",
+		"Design", "Storage (mm2)", "Channel (mm2)", "Controller (mm2)", "Total (mm2)")
+	for _, d := range []tlc.Design{tlc.DesignDNUCA, tlc.DesignTLC, tlc.DesignSNUCA2,
+		tlc.DesignTLCOpt1000, tlc.DesignTLCOpt500, tlc.DesignTLCOpt350} {
+		a := tlc.Area(d)
+		t.AddRow(d.String(), a.StorageMM2, a.ChannelMM2, a.ControlMM2, a.TotalMM2())
+	}
+	return t
+}
+
+// Table8 reproduces the network-transistor table.
+func Table8() *report.Table {
+	t := report.NewTable("Table 8: Cache Communication Network Characteristics",
+		"Design", "Total Transistors", "Total Gate Width (Mlambda)")
+	for _, d := range []tlc.Design{tlc.DesignDNUCA, tlc.DesignTLC} {
+		n := tlc.Transistors(d)
+		t.AddRow(d.String(), fmt.Sprintf("%.2g", float64(n.Count)), n.GateWidthLambda/1e6)
+	}
+	return t
+}
+
+// Table9 reproduces the dynamic-power table.
+func (s *Suite) Table9() *report.Table {
+	t := report.NewTable("Table 9: Dynamic Components",
+		"Bench", "DNUCA banks/req", "TLC banks/req", "DNUCA power (mW)", "TLC power (mW)")
+	for _, b := range tlc.Benchmarks() {
+		dr := s.Run(tlc.DesignDNUCA, b)
+		tr := s.Run(tlc.DesignTLC, b)
+		t.AddRow(b, dr.BanksPerRequest, tr.BanksPerRequest,
+			dr.NetworkPowerW*1000, tr.NetworkPowerW*1000)
+	}
+	return t
+}
+
+// Figure3 reproduces the cross-sectional comparison's headline: repeated
+// conventional-wire delay versus transmission-line delay over distance.
+func Figure3() *report.Table {
+	t := report.NewTable("Figure 3 (companion): RC wire vs transmission line delay",
+		"Length (mm)", "Bare RC (ps)", "Repeated RC (ps)", "Transmission line (ps)", "TL speedup")
+	gw := wire.Global45()
+	tg := tline.Table1()[2] // widest line class
+	rl := tline.Extract(tg)
+	for _, mm := range []float64{1, 2, 5, 9, 11, 13, 20} {
+		bare := wire.UnrepeatedDelayPs(gw, mm)
+		rep := wire.Repeat(gw, mm).DelayPs
+		tl := mm * 1e-3 / rl.Velocity * 1e12
+		t.AddRow(mm, bare, rep, tl, rep/tl)
+	}
+	return t
+}
+
+// execSeries builds normalized execution time for the given designs,
+// normalized to SNUCA2 (Figures 5 and 8).
+func (s *Suite) execSeries(designs []tlc.Design) *report.Figure {
+	benches := tlc.Benchmarks()
+	f := report.NewFigure("", benches)
+	base := make([]float64, len(benches))
+	for i, b := range benches {
+		base[i] = float64(s.Run(tlc.DesignSNUCA2, b).Cycles)
+	}
+	for _, d := range designs {
+		vals := make([]float64, len(benches))
+		for i, b := range benches {
+			vals[i] = float64(s.Run(d, b).Cycles) / base[i]
+		}
+		f.AddSeries(d.String(), vals)
+	}
+	return f
+}
+
+// Figure5 reproduces the normalized execution time comparison.
+func (s *Suite) Figure5() *report.Figure {
+	f := s.execSeries([]tlc.Design{tlc.DesignDNUCA, tlc.DesignTLC})
+	f.Title = "Figure 5: Normalized Execution Time (SNUCA2 = 1.0)"
+	return f
+}
+
+// Figure6 reproduces the mean cache lookup latency comparison.
+func (s *Suite) Figure6() *report.Figure {
+	benches := tlc.Benchmarks()
+	f := report.NewFigure("Figure 6: Mean Cache Lookup Latency (cycles)", benches)
+	for _, d := range []tlc.Design{tlc.DesignDNUCA, tlc.DesignTLC} {
+		vals := make([]float64, len(benches))
+		for i, b := range benches {
+			vals[i] = s.Run(d, b).MeanLookup
+		}
+		f.AddSeries(d.String(), vals)
+	}
+	return f
+}
+
+// Figure7 reproduces the TLC-family link utilization comparison.
+func (s *Suite) Figure7() *report.Figure {
+	benches := tlc.Benchmarks()
+	f := report.NewFigure("Figure 7: TLC Average Link Utilization (%)", benches)
+	for _, d := range tlc.TLCFamily() {
+		vals := make([]float64, len(benches))
+		for i, b := range benches {
+			vals[i] = s.Run(d, b).LinkUtilization * 100
+		}
+		f.AddSeries(d.String(), vals)
+	}
+	return f
+}
+
+// Figure8 reproduces the TLC-family normalized execution time comparison.
+func (s *Suite) Figure8() *report.Figure {
+	f := s.execSeries(tlc.TLCFamily())
+	f.Title = "Figure 8: TLC Family Normalized Execution Time (SNUCA2 = 1.0)"
+	return f
+}

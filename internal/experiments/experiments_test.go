@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"tlc"
+)
+
+// quickSuite keeps simulated experiments fast in tests.
+func quickSuite() *Suite {
+	return NewSuite(tlc.Options{WarmInstructions: 1_000_000, RunInstructions: 50_000, Seed: 1})
+}
+
+func TestStaticTablesRender(t *testing.T) {
+	for name, fn := range map[string]func() string{
+		"table1": func() string { return Table1().String() },
+		"table2": func() string { return Table2().String() },
+		"table7": func() string { return Table7().String() },
+		"table8": func() string { return Table8().String() },
+		"fig3":   func() string { return Figure3().String() },
+	} {
+		out := fn()
+		if len(out) < 100 || !strings.Contains(out, "-") {
+			t.Errorf("%s rendered implausibly: %q", name, out)
+		}
+	}
+}
+
+func TestTable1ContainsAllGeometries(t *testing.T) {
+	out := Table1().String()
+	for _, want := range []string{"0.9 cm", "1.1 cm", "1.3 cm", "true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func TestTable2ContainsAllDesigns(t *testing.T) {
+	out := Table2().String()
+	for _, d := range tlc.Designs() {
+		if !strings.Contains(out, d.String()) {
+			t.Errorf("Table 2 missing %v", d)
+		}
+	}
+	if !strings.Contains(out, "2048") || !strings.Contains(out, "10 - 16 cycles") {
+		t.Error("Table 2 missing base TLC parameters")
+	}
+}
+
+func TestRunCaching(t *testing.T) {
+	s := quickSuite()
+	a := s.Run(tlc.DesignTLC, "perl")
+	b := s.Run(tlc.DesignTLC, "perl")
+	if a != b {
+		t.Fatal("cache returned a different result")
+	}
+}
+
+func TestPrefetchFillsCache(t *testing.T) {
+	s := quickSuite()
+	benches := []string{"perl", "oltp"}
+	s.Prefetch([]tlc.Design{tlc.DesignTLC}, benches, 2)
+	s.mu.Lock()
+	n := len(s.cache)
+	s.mu.Unlock()
+	if n != 2 {
+		t.Fatalf("%d cached runs, want 2", n)
+	}
+}
+
+func TestSimulatedExperimentsRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated experiments are slow")
+	}
+	s := quickSuite()
+	t6 := s.Table6().String()
+	for _, b := range tlc.Benchmarks() {
+		if !strings.Contains(t6, b) {
+			t.Errorf("Table 6 missing %s", b)
+		}
+	}
+	f5 := s.Figure5()
+	if len(f5.Series) != 2 || len(f5.Series[0].Values) != 12 {
+		t.Fatal("Figure 5 series malformed")
+	}
+	for _, v := range f5.Series[1].Values { // TLC normalized exec
+		if v <= 0.3 || v > 1.5 {
+			t.Errorf("normalized execution time %v implausible", v)
+		}
+	}
+	f7 := s.Figure7()
+	if len(f7.Series) != 4 {
+		t.Fatal("Figure 7 should cover the four TLC designs")
+	}
+	// Figure 7's headline: base TLC utilization stays low everywhere.
+	for _, v := range f7.Series[0].Values {
+		if v > 15 {
+			t.Errorf("base TLC utilization %v%% too high", v)
+		}
+	}
+	f8 := s.Figure8()
+	if len(f8.Series) != 4 {
+		t.Fatal("Figure 8 should cover the four TLC designs")
+	}
+	t9 := s.Table9().String()
+	if !strings.Contains(t9, "mW") {
+		t.Error("Table 9 missing power columns")
+	}
+}

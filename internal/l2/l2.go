@@ -1,0 +1,87 @@
+// Package l2 defines the contract between the processor model and the
+// level-2 cache designs. Every design (SNUCA2, DNUCA, the TLC family)
+// implements Cache; the CPU model and the benchmark harness only see this
+// interface.
+//
+// Timing convention: designs compute access timing arithmetically against
+// monotone resource reservations (banks, links) rather than by scheduling
+// engine events, so an Access call returns the full outcome immediately.
+// Functional state changes (fills, migrations) are applied at call time
+// even though their timing lands later; at the simulated request rates this
+// skew is far smaller than the reuse distances that determine hit rates.
+// Callers must present requests in non-decreasing time order.
+package l2
+
+import (
+	"tlc/internal/mem"
+	"tlc/internal/sim"
+)
+
+// Outcome describes one L2 access.
+type Outcome struct {
+	// Hit reports whether the block was resident.
+	Hit bool
+	// ResolveAt is when the controller has resolved the access: data at
+	// the controller for hits, the miss determination for misses.
+	ResolveAt sim.Time
+	// CompleteAt is when data is available to the processor: ResolveAt
+	// for hits, ResolveAt plus the memory latency for misses. Stores
+	// complete immediately (fire-and-forget past the store buffer).
+	CompleteAt sim.Time
+	// Predictable reports whether the lookup resolved in its statically
+	// predicted latency (Table 6, columns 7-8): the per-bank nominal
+	// latency for the static designs, the close-hit or fast-miss nominal
+	// for DNUCA. Contention, searches, far hits, and multi-match
+	// resolution all clear it.
+	Predictable bool
+	// BanksAccessed counts data banks touched (Table 9).
+	BanksAccessed int
+}
+
+// Cache is one L2 design under test.
+type Cache interface {
+	// Access performs one request arriving at the controller at cycle
+	// `at`. Calls must be in non-decreasing `at` order.
+	Access(at sim.Time, req mem.Request) Outcome
+	// Warm installs a block functionally (no timing), for cache warm-up
+	// before the measured interval.
+	Warm(b mem.Block)
+	// Contains reports functional residency, for tests and warm-up logic.
+	Contains(b mem.Block) bool
+}
+
+// LookupLatency reports the lookup portion of an outcome relative to its
+// issue time.
+func LookupLatency(at sim.Time, o Outcome) uint64 {
+	return uint64(o.ResolveAt - at)
+}
+
+// Memory abstracts the main memory behind the L2: Fetch returns when a
+// missed block's data is back at the cache controller. The default is
+// FlatMemory (the paper's Table 3 fixed latency); internal/dram provides a
+// banked model with row buffers and channel contention.
+type Memory interface {
+	Fetch(at sim.Time, b mem.Block) sim.Time
+}
+
+// FlatMemory is the Table 3 memory: a fixed mean latency with the
+// deterministic per-block skew of MemLatency.
+type FlatMemory struct {
+	Latency sim.Time
+}
+
+// Fetch implements Memory.
+func (f FlatMemory) Fetch(at sim.Time, b mem.Block) sim.Time {
+	return at + MemLatency(f.Latency, b)
+}
+
+// MemLatency reports the memory access latency for a block: the Table 3
+// mean of 300 cycles plus a deterministic per-block skew of up to +/-16
+// cycles standing in for DRAM bank and channel scheduling variation.
+// Without it, the fixed-latency memory returns the 8 outstanding misses in
+// lockstep, and their fill and writeback traffic collides with the next
+// burst in a way no real memory system exhibits.
+func MemLatency(base sim.Time, b mem.Block) sim.Time {
+	h := uint64(b) * 0x9e3779b97f4a7c15
+	return base + sim.Time(h>>59) - 16 // +/-16 around the mean
+}

@@ -1,0 +1,229 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tlc/internal/sim"
+)
+
+// testConfig builds a small 4x4 mesh with unit latencies.
+func testConfig() Config {
+	return Config{
+		Cols: 4, Rows: 4,
+		ColDist:     []int{1, 0, 0, 1},
+		SpineSegLat: 1,
+		VertReqLat:  []sim.Time{1, 1, 1, 1},
+		VertRespLat: []sim.Time{1, 1, 1, 1},
+		IngressLat:  0,
+		FlitBytes:   16,
+		SpineSegMM:  1, VertSegMM: 1,
+	}
+}
+
+func TestUncontendedLatencies(t *testing.T) {
+	m := New(testConfig())
+	if got := m.UncontendedOneWay(1, 0); got != 0 {
+		t.Fatalf("closest bank one-way %d, want 0", got)
+	}
+	if got := m.UncontendedOneWay(0, 3); got != 4 {
+		t.Fatalf("far bank one-way %d, want 4 (1 spine + 3 vertical)", got)
+	}
+	if got := m.UncontendedRoundTrip(0, 3); got != 8 {
+		t.Fatalf("far bank round trip %d, want 8", got)
+	}
+}
+
+func TestRouteMatchesUncontendedOnIdleMesh(t *testing.T) {
+	for col := 0; col < 4; col++ {
+		for row := 0; row < 4; row++ {
+			m := New(testConfig()) // fresh mesh: no contention carry-over
+			arrive := m.Route(100, col, row, 8, ToBank)
+			want := sim.Time(100) + m.UncontendedOneWay(col, row)
+			if arrive != want {
+				t.Fatalf("bank (%d,%d) head arrives %d, want %d", col, row, arrive, want)
+			}
+			// Response on idle links completes the round trip.
+			back := m.Route(arrive, col, row, 8, ToController)
+			if back != 100+m.UncontendedRoundTrip(col, row) {
+				t.Fatalf("bank (%d,%d) round trip mismatch", col, row)
+			}
+		}
+	}
+}
+
+func TestContentionDelaysSecondMessage(t *testing.T) {
+	m := New(testConfig())
+	// Two large messages to the same far bank: the second queues behind
+	// the first on every shared segment.
+	first := m.Route(0, 0, 3, 64, ToBank)
+	second := m.Route(0, 0, 3, 64, ToBank)
+	if second <= first {
+		t.Fatalf("second message (%d) not delayed behind first (%d)", second, first)
+	}
+	// 64B at 16B flits = 4+1 flits: the second head waits 5 cycles at the
+	// first segment.
+	if second != first+5 {
+		t.Fatalf("second head arrives %d, want first+5=%d", second, first+5)
+	}
+}
+
+func TestDisjointColumnsDoNotContend(t *testing.T) {
+	m := New(testConfig())
+	a := m.Route(0, 1, 3, 64, ToBank)
+	b := m.Route(0, 2, 3, 64, ToBank)
+	if a != b {
+		t.Fatalf("independent columns interfered: %d vs %d", a, b)
+	}
+}
+
+func TestOppositeSpineSidesDoNotContend(t *testing.T) {
+	m := New(testConfig())
+	a := m.Route(0, 0, 0, 64, ToBank) // left spine
+	b := m.Route(0, 3, 0, 64, ToBank) // right spine
+	if a != b {
+		t.Fatalf("opposite spine sides interfered: %d vs %d", a, b)
+	}
+}
+
+func TestDirectionsAreIndependent(t *testing.T) {
+	m := New(testConfig())
+	m.Route(0, 0, 3, 64, ToBank)
+	// A response at the same time must not queue behind the request.
+	resp := m.Route(0, 0, 3, 8, ToController)
+	if resp != 0+m.UncontendedOneWay(0, 3) {
+		t.Fatalf("response contended with request direction: %d", resp)
+	}
+}
+
+func TestRouteBetween(t *testing.T) {
+	m := New(testConfig())
+	// Move between rows 3 and 1 in column 0: two vertical segments.
+	if got := m.RouteBetween(10, 0, 3, 1, 8); got != 12 {
+		t.Fatalf("downward (toward controller) migration arrives %d, want 12", got)
+	}
+	if got := m.RouteBetween(10, 0, 1, 3, 8); got != 12 {
+		t.Fatalf("upward migration arrives %d, want 12", got)
+	}
+	if got := m.RouteBetween(10, 0, 2, 2, 8); got != 10 {
+		t.Fatalf("no-op migration arrives %d, want 10", got)
+	}
+}
+
+func TestBusyCyclesAccounting(t *testing.T) {
+	m := New(testConfig())
+	m.Route(0, 0, 3, 8, ToBank) // 2 flits over 1 spine + 3 vertical = 8 flit-segs
+	if m.TotalLinkBusyCycles() != 8 {
+		t.Fatalf("busy cycles %d, want 8", m.TotalLinkBusyCycles())
+	}
+	if m.SpineFlitSegs != 2 || m.VertFlitSegs != 6 {
+		t.Fatalf("flit-segments %d/%d, want 2/6", m.SpineFlitSegs, m.VertFlitSegs)
+	}
+	if m.Messages != 1 {
+		t.Fatalf("messages %d, want 1", m.Messages)
+	}
+}
+
+func TestSegmentCount(t *testing.T) {
+	m := New(testConfig())
+	// Per direction: 2 sides x 1 spine segment + 4 cols x 4 rows vertical.
+	want := 2 * (2*1 + 4*4)
+	if got := m.SegmentCount(); got != want {
+		t.Fatalf("segment count %d, want %d", got, want)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := New(testConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("routing to an out-of-range bank did not panic")
+		}
+	}()
+	m.Route(0, 9, 0, 8, ToBank)
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := testConfig()
+	bad.ColDist = []int{1}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad column distance table did not panic")
+		}
+	}()
+	New(bad)
+}
+
+// Property: routed head arrival is never earlier than the uncontended
+// latency, and repeating the same route never gets faster (monotone
+// contention).
+func TestQuickRouteNeverBeatsUncontended(t *testing.T) {
+	f := func(seed int64, cols, rows []uint8) bool {
+		m := New(testConfig())
+		n := len(cols)
+		if len(rows) < n {
+			n = len(rows)
+		}
+		var at sim.Time
+		prev := map[[2]int]sim.Time{}
+		for i := 0; i < n && i < 30; i++ {
+			col := int(cols[i]) % 4
+			row := int(rows[i]) % 4
+			arrive := m.Route(at, col, row, 32, ToBank)
+			if arrive < at+m.UncontendedOneWay(col, row) {
+				return false
+			}
+			key := [2]int{col, row}
+			if p, ok := prev[key]; ok && arrive < p {
+				return false
+			}
+			prev[key] = arrive
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwitchCost(t *testing.T) {
+	sc := DefaultSwitch(16)
+	if sc.Transistors() < 10000 {
+		t.Fatalf("switch transistors %d implausibly low", sc.Transistors())
+	}
+	if sc.GateWidthLambda() <= 0 || sc.EnergyPerFlitJ() <= 0 {
+		t.Fatal("switch cost must be positive")
+	}
+	// Wider links cost more.
+	if DefaultSwitch(32).Transistors() <= sc.Transistors() {
+		t.Fatal("wider flits should need more transistors")
+	}
+}
+
+func TestMeshTransistorsScale(t *testing.T) {
+	small := New(testConfig())
+	bigCfg := testConfig()
+	bigCfg.Cols, bigCfg.Rows = 8, 8
+	bigCfg.ColDist = []int{3, 2, 1, 0, 0, 1, 2, 3}
+	bigCfg.VertReqLat = make([]sim.Time, 8)
+	bigCfg.VertRespLat = make([]sim.Time, 8)
+	for i := range bigCfg.VertReqLat {
+		bigCfg.VertReqLat[i], bigCfg.VertRespLat[i] = 1, 1
+	}
+	big := New(bigCfg)
+	sc := DefaultSwitch(16)
+	cs, ws := MeshTransistors(small, sc)
+	cb, wb := MeshTransistors(big, sc)
+	if cb <= cs || wb <= ws {
+		t.Fatal("a larger mesh should need more transistors and gate width")
+	}
+}
+
+func TestLinkEnergyScalesWithLengthAndWidth(t *testing.T) {
+	if LinkEnergyPerFlitJ(16, 2) <= LinkEnergyPerFlitJ(16, 1) {
+		t.Fatal("longer segments should cost more energy")
+	}
+	if LinkEnergyPerFlitJ(32, 1) <= LinkEnergyPerFlitJ(16, 1) {
+		t.Fatal("wider flits should cost more energy")
+	}
+}

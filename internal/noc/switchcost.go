@@ -1,0 +1,69 @@
+package noc
+
+import "tlc/internal/wire"
+
+// SwitchCost models the circuit cost of one mesh switch: an Orion-style
+// [39] wormhole router with per-port input buffers, a crossbar, and
+// arbitration, at the mesh's link width. These feed the Table 8 transistor
+// roll-up and the Table 9 per-flit switch energy.
+type SwitchCost struct {
+	Ports    int
+	FlitBits int
+	BufDepth int
+}
+
+// DefaultSwitch is the 5-port router (4 mesh directions + bank ejection)
+// used by the NUCA designs, matching their 16-byte links.
+func DefaultSwitch(flitBytes int) SwitchCost {
+	return SwitchCost{Ports: 5, FlitBits: flitBytes * 8, BufDepth: 4}
+}
+
+// Transistors reports the per-switch transistor count: 6T per buffer cell
+// (latch), 6T per crossbar crosspoint bit, plus arbiter/control overhead.
+func (s SwitchCost) Transistors() int {
+	buffers := s.Ports * s.BufDepth * s.FlitBits * 10 // flit buffer + valid/ctrl
+	crossbar := s.Ports * s.Ports * s.FlitBits * 6
+	arbiters := s.Ports * 600
+	return buffers + crossbar + arbiters
+}
+
+// GateWidthLambda reports summed gate width per switch. Datapath devices
+// are sized several times minimum to meet the single-cycle hop at 10 GHz.
+func (s SwitchCost) GateWidthLambda() float64 {
+	const avgDeviceWidthLambda = 30.0
+	return float64(s.Transistors()) * avgDeviceWidthLambda
+}
+
+// EnergyPerFlitJ reports the switching energy of one flit traversing the
+// router: buffer write+read plus crossbar traversal. A 128-bit flit through
+// a 45 nm router costs a few hundred femtojoules.
+func (s SwitchCost) EnergyPerFlitJ() float64 {
+	const perBitJ = 2.5e-15
+	return float64(s.FlitBits) * perBitJ
+}
+
+// LinkEnergyPerFlitJ reports the wire switching energy of one flit
+// traversing a link segment of the given length, at a 0.25 data activity
+// across the repeated RC wire.
+func LinkEnergyPerFlitJ(flitBytes int, segMM float64) float64 {
+	const activity = 0.25
+	return activity * float64(flitBytes*8) * wire.EnergyPerTransitionJ(wire.Global45(), segMM)
+}
+
+// MeshTransistors rolls up the communication-network transistor demand of a
+// mesh: one switch per bank plus the link repeaters, the DNUCA side of
+// Table 8.
+func MeshTransistors(m *Mesh, sc SwitchCost) (count int, gateWidthLambda float64) {
+	banks := m.cfg.Cols * m.cfg.Rows
+	count = banks * sc.Transistors()
+	gateWidthLambda = float64(banks) * sc.GateWidthLambda()
+	// One output driver/repeater per link segment and bit: mesh segments
+	// span a single bank (under a millimeter), so the switch's output
+	// stage is the only repeater each hop needs.
+	segs := m.SegmentCount()
+	rw := wire.Repeat(wire.Global45(), m.cfg.VertSegMM)
+	bits := m.cfg.FlitBytes * 8
+	count += segs * bits * 2
+	gateWidthLambda += float64(segs*bits) * rw.RepeaterSize * 12
+	return count, gateWidthLambda
+}

@@ -1,0 +1,135 @@
+// Package sim provides the discrete-event simulation engine that underlies
+// every timing model in this repository. The engine advances a cycle-granular
+// clock (one cycle = one 10 GHz processor clock at the paper's 45 nm design
+// point) and dispatches events in deterministic order: events scheduled for
+// the same cycle fire in the order they were scheduled, so simulations are
+// reproducible run-to-run regardless of map iteration or goroutine timing.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp in processor cycles.
+type Time uint64
+
+// Event is a callback scheduled to run at a particular cycle.
+type Event func()
+
+// item is a scheduled event inside the queue.
+type item struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among events at the same cycle
+	fn  Event
+}
+
+// eventHeap implements heap.Interface ordered by (at, seq).
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a deterministic discrete-event simulator.
+// The zero value is ready to use.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+}
+
+// New returns an empty engine at cycle 0.
+func New() *Engine { return &Engine{} }
+
+// Now reports the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of scheduled, not-yet-fired events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at the absolute cycle t.
+// Scheduling in the past panics: it indicates a model bug, and silently
+// reordering time would corrupt every downstream statistic.
+func (e *Engine) At(t Time, fn Event) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at cycle %d, before now (%d)", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, item{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Time, fn Event) { e.At(e.now+d, fn) }
+
+// Step fires the single earliest pending event, advancing the clock to its
+// timestamp. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	it := heap.Pop(&e.queue).(item)
+	e.now = it.at
+	it.fn()
+	return true
+}
+
+// Run fires events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil fires events up to and including cycle limit. Events scheduled
+// after limit remain queued; the clock is left at the last fired event (or
+// advanced to limit if nothing fired at or before it).
+func (e *Engine) RunUntil(limit Time) {
+	e.stopped = false
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= limit {
+		e.Step()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+}
+
+// Stop makes the innermost Run or RunUntil return after the current event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// NextEventTime reports the timestamp of the earliest pending event.
+// The second result is false when no events are pending.
+func (e *Engine) NextEventTime() (Time, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
+// AdvanceTo moves the clock forward to t without firing events.
+// It panics if events are pending before t (they would be skipped) or if t
+// is in the past. It is used by cycle-stepped components (the CPU core) to
+// fast-forward across idle stretches.
+func (e *Engine) AdvanceTo(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: AdvanceTo(%d) is before now (%d)", t, e.now))
+	}
+	if len(e.queue) > 0 && e.queue[0].at < t {
+		panic(fmt.Sprintf("sim: AdvanceTo(%d) would skip event at %d", t, e.queue[0].at))
+	}
+	e.now = t
+}

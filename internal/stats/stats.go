@@ -1,0 +1,273 @@
+// Package stats collects the run-time statistics every experiment in the
+// paper reports: counters (misses, promotions, insertions), latency
+// histograms (mean lookup latency, Figure 6; predictable-lookup fraction,
+// Table 6), and utilization series (Figure 7).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value reports the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Ratio returns a/b as a float, or 0 when b is zero.
+func Ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// PerKilo returns events per thousand units, the paper's misses-per-1K-
+// instructions metric (Table 6).
+func PerKilo(events, units uint64) float64 {
+	if units == 0 {
+		return 0
+	}
+	return 1000 * float64(events) / float64(units)
+}
+
+// Histogram is an exact integer-valued histogram. Cache lookup latencies
+// span a small range (a few to a few hundred cycles), so dense bucketing up
+// to a cap with an overflow bucket is both exact and cheap.
+type Histogram struct {
+	buckets  []uint64 // buckets[v] = count of samples with value v, v < cap
+	overflow uint64   // samples >= len(buckets)
+	ovSum    uint64   // sum of overflow sample values
+	count    uint64
+	sum      uint64
+	min, max uint64
+}
+
+// NewHistogram returns a histogram with exact buckets for values below cap.
+// Values at or above cap are tracked in aggregate (count and sum) so the
+// mean stays exact even with outliers.
+func NewHistogram(cap int) *Histogram {
+	if cap <= 0 {
+		cap = 1
+	}
+	return &Histogram{buckets: make([]uint64, cap), min: math.MaxUint64}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	if v < uint64(len(h.buckets)) {
+		h.buckets[v]++
+	} else {
+		h.overflow++
+		h.ovSum += v
+	}
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum reports the exact sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Mean reports the exact sample mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min reports the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest sample, or 0 with no samples.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mode reports the most frequent in-range value. Ties resolve to the
+// smallest value; overflow samples never win. With no samples Mode is 0.
+func (h *Histogram) Mode() uint64 {
+	var best uint64
+	var bestCount uint64
+	for v, c := range h.buckets {
+		if c > bestCount {
+			bestCount = c
+			best = uint64(v)
+		}
+	}
+	return best
+}
+
+// CountOf reports how many samples had exactly value v (v below the cap).
+func (h *Histogram) CountOf(v uint64) uint64 {
+	if v < uint64(len(h.buckets)) {
+		return h.buckets[v]
+	}
+	return 0
+}
+
+// CountAtMost reports how many samples were <= v.
+func (h *Histogram) CountAtMost(v uint64) uint64 {
+	var n uint64
+	limit := v
+	if limit >= uint64(len(h.buckets)) {
+		limit = uint64(len(h.buckets)) - 1
+	}
+	for i := uint64(0); i <= limit; i++ {
+		n += h.buckets[i]
+	}
+	return n
+}
+
+// Percentile reports the smallest in-range value v such that at least
+// p (0..1) of the samples are <= v. Overflow samples count as larger than
+// every bucket; if the percentile lands in the overflow region the cap-1
+// value is returned.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for v, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			return uint64(v)
+		}
+	}
+	return uint64(len(h.buckets) - 1)
+}
+
+// StdDev reports the in-range sample standard deviation. Overflow samples
+// are folded in using their exact sum but an approximated square (treated as
+// the cap value), which is adequate for the reporting use here.
+func (h *Histogram) StdDev() float64 {
+	if h.count < 2 {
+		return 0
+	}
+	mean := h.Mean()
+	var ss float64
+	for v, c := range h.buckets {
+		d := float64(v) - mean
+		ss += d * d * float64(c)
+	}
+	if h.overflow > 0 {
+		d := float64(len(h.buckets)) - mean
+		ss += d * d * float64(h.overflow)
+	}
+	return math.Sqrt(ss / float64(h.count))
+}
+
+// Reset clears all samples.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.overflow = 0
+	h.ovSum = 0
+	h.count = 0
+	h.sum = 0
+	h.min = math.MaxUint64
+	h.max = 0
+}
+
+// Series is an ordered set of (label, value) pairs: one figure data series.
+type Series struct {
+	Name   string
+	Labels []string
+	Values []float64
+}
+
+// Append adds one point to the series.
+func (s *Series) Append(label string, v float64) {
+	s.Labels = append(s.Labels, label)
+	s.Values = append(s.Values, v)
+}
+
+// Mean reports the arithmetic mean of the series values (0 when empty).
+func (s *Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// Max reports the largest value in the series (0 when empty).
+func (s *Series) Max() float64 {
+	var m float64
+	for i, v := range s.Values {
+		if i == 0 || v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// GeoMean reports the geometric mean of the series values, the conventional
+// aggregate for normalized execution times. Non-positive values make the
+// geometric mean undefined; they yield 0.
+func (s *Series) GeoMean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, v := range s.Values {
+		if v <= 0 {
+			return 0
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(s.Values)))
+}
+
+// String renders the series compactly for logs and tests.
+func (s *Series) String() string {
+	out := s.Name + ":"
+	for i := range s.Values {
+		out += fmt.Sprintf(" %s=%.3f", s.Labels[i], s.Values[i])
+	}
+	return out
+}
+
+// SortedKeys returns the keys of m in sorted order; a helper for rendering
+// deterministic tables from map-shaped results.
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,225 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("counter %d after reset, want 0", c.Value())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(3, 4); got != 0.75 {
+		t.Fatalf("Ratio(3,4)=%v, want 0.75", got)
+	}
+	if got := Ratio(3, 0); got != 0 {
+		t.Fatalf("Ratio(3,0)=%v, want 0", got)
+	}
+}
+
+func TestPerKilo(t *testing.T) {
+	if got := PerKilo(5, 1000); got != 5 {
+		t.Fatalf("PerKilo(5,1000)=%v, want 5", got)
+	}
+	if got := PerKilo(1, 2000); got != 0.5 {
+		t.Fatalf("PerKilo(1,2000)=%v, want 0.5", got)
+	}
+	if got := PerKilo(1, 0); got != 0 {
+		t.Fatalf("PerKilo(1,0)=%v, want 0", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(64)
+	for _, v := range []uint64{10, 10, 10, 13, 16, 16} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count %d, want 6", h.Count())
+	}
+	if h.Sum() != 75 {
+		t.Fatalf("sum %d, want 75", h.Sum())
+	}
+	if got := h.Mean(); math.Abs(got-12.5) > 1e-12 {
+		t.Fatalf("mean %v, want 12.5", got)
+	}
+	if h.Min() != 10 || h.Max() != 16 {
+		t.Fatalf("min/max %d/%d, want 10/16", h.Min(), h.Max())
+	}
+	if h.Mode() != 10 {
+		t.Fatalf("mode %d, want 10", h.Mode())
+	}
+	if h.CountOf(16) != 2 {
+		t.Fatalf("CountOf(16)=%d, want 2", h.CountOf(16))
+	}
+	if h.CountAtMost(13) != 4 {
+		t.Fatalf("CountAtMost(13)=%d, want 4", h.CountAtMost(13))
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(8)
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mode() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	if h.Percentile(0.5) != 0 {
+		t.Fatal("empty histogram percentile should be 0")
+	}
+}
+
+func TestHistogramOverflowKeepsExactMean(t *testing.T) {
+	h := NewHistogram(10)
+	h.Observe(5)
+	h.Observe(1000) // far past the cap
+	if got := h.Mean(); got != 502.5 {
+		t.Fatalf("mean with overflow %v, want 502.5", got)
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max %d, want 1000", h.Max())
+	}
+	if h.CountOf(1000) != 0 {
+		t.Fatal("overflow values must not appear in exact buckets")
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram(100)
+	for v := uint64(1); v <= 100; v++ {
+		h.Observe(v % 100) // values 0..99, one of each plus an extra 0
+	}
+	if got := h.Percentile(0.5); got != 49 {
+		t.Fatalf("p50 %d, want 49", got)
+	}
+	if got := h.Percentile(1.0); got != 99 {
+		t.Fatalf("p100 %d, want 99", got)
+	}
+	if got := h.Percentile(0.0); got != 0 {
+		t.Fatalf("p0 %d, want 0", got)
+	}
+}
+
+func TestHistogramModeTieBreaksLow(t *testing.T) {
+	h := NewHistogram(16)
+	h.Observe(3)
+	h.Observe(7)
+	if h.Mode() != 3 {
+		t.Fatalf("tied mode %d, want the smaller value 3", h.Mode())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(16)
+	h.Observe(3)
+	h.Observe(300)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 {
+		t.Fatal("Reset did not clear histogram")
+	}
+	h.Observe(2)
+	if h.Mean() != 2 {
+		t.Fatalf("mean after reset+observe %v, want 2", h.Mean())
+	}
+}
+
+func TestHistogramStdDev(t *testing.T) {
+	h := NewHistogram(32)
+	for _, v := range []uint64{2, 4, 4, 4, 5, 5, 7, 9} {
+		h.Observe(v)
+	}
+	if got := h.StdDev(); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("stddev %v, want 2.0", got)
+	}
+	single := NewHistogram(8)
+	single.Observe(3)
+	if single.StdDev() != 0 {
+		t.Fatal("single-sample stddev should be 0")
+	}
+}
+
+// Property: for any sample set, mean is sum/count exactly, min <= mode <= max
+// for in-range data, and CountAtMost is monotone.
+func TestQuickHistogramInvariants(t *testing.T) {
+	f := func(raw []uint8) bool {
+		h := NewHistogram(256)
+		var sum uint64
+		for _, v := range raw {
+			h.Observe(uint64(v))
+			sum += uint64(v)
+		}
+		if h.Sum() != sum || h.Count() != uint64(len(raw)) {
+			return false
+		}
+		if len(raw) > 0 {
+			if h.Mode() < h.Min() || h.Mode() > h.Max() {
+				return false
+			}
+			if h.CountAtMost(h.Max()) != h.Count() {
+				return false
+			}
+		}
+		var prev uint64
+		for v := uint64(0); v < 256; v += 17 {
+			c := h.CountAtMost(v)
+			if c < prev {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "test"
+	s.Append("a", 1.0)
+	s.Append("b", 4.0)
+	if got := s.Mean(); got != 2.5 {
+		t.Fatalf("series mean %v, want 2.5", got)
+	}
+	if got := s.Max(); got != 4.0 {
+		t.Fatalf("series max %v, want 4", got)
+	}
+	if got := s.GeoMean(); got != 2.0 {
+		t.Fatalf("series geomean %v, want 2", got)
+	}
+	if s.String() != "test: a=1.000 b=4.000" {
+		t.Fatalf("series string %q", s.String())
+	}
+}
+
+func TestSeriesDegenerate(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Max() != 0 || s.GeoMean() != 0 {
+		t.Fatal("empty series should report zeros")
+	}
+	s.Append("neg", -1)
+	if s.GeoMean() != 0 {
+		t.Fatal("geomean with non-positive value should be 0")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]float64{"zeus": 1, "apache": 2, "mcf": 3}
+	keys := SortedKeys(m)
+	want := []string{"apache", "mcf", "zeus"}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys %v, want %v", keys, want)
+		}
+	}
+}

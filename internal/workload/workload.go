@@ -1,0 +1,421 @@
+// Package workload generates the synthetic instruction traces standing in
+// for the paper's twelve benchmarks (Tables 4-6): four SPECint 2000
+// (bzip, gcc, mcf, perl), four SPECfp 2000 (equake, lucas, swim, applu),
+// and four commercial workloads (apache, zeus, SPECjbb, OLTP).
+//
+// Each benchmark is a Spec: a memory footprint, a hot working set with
+// optional skew, a streaming fraction, a store fraction, a memory-op
+// density, and a dependent-load probability. The specs are calibrated so
+// the address-stream statistics that drive every result in the paper's
+// Section 6 — L2 request rate, L2 miss rate, footprint relative to the
+// 16 MB cache and to DNUCA's 2 MB of close banks, and streaming-versus-
+// reuse behaviour — land near Table 6.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tlc/internal/cpu"
+	"tlc/internal/l2"
+	"tlc/internal/mem"
+)
+
+// Region sizes are expressed in 64-byte blocks.
+const blocksPerMB = 1024 * 1024 / mem.BlockBytes
+
+// Spec parameterizes one synthetic benchmark.
+type Spec struct {
+	// Name is the benchmark label used in every table.
+	Name string
+	// FootprintMB is the total data footprint.
+	FootprintMB float64
+	// L1MB is a tiny very-hot region that the 64 KB L1 mostly absorbs;
+	// L1Frac of memory references go to it. It controls the L2 request
+	// rate (Table 6, column 2).
+	L1MB   float64
+	L1Frac float64
+	// HotMB and HotFrac describe the L2-scale hot working set.
+	HotMB   float64
+	HotFrac float64
+	// HotSkew > 0 applies nested 80/20 skew within the hot region
+	// (levels of recursion); 0 is uniform.
+	HotSkew int
+	// StreamFrac of references walk the cold region sequentially —
+	// the SPECfp streaming behaviour. Streams have word-level spatial
+	// locality: StreamRepeat consecutive stream references touch the
+	// same 64-byte block (default 8, i.e. 8-byte strides), so the L1
+	// absorbs 7 of every 8 stream references just as on real hardware.
+	StreamFrac   float64
+	StreamRepeat int
+	// ColdSkew > 0 applies nested 80/20 skew within the cold region
+	// (static popularity skew; no temporal drift).
+	ColdSkew int
+	// ColdWindowMB switches the cold region to a sliding working-set
+	// model: references fall uniformly in a window of this size, and
+	// with probability ColdTurnover a reference admits a fresh block
+	// (advancing the window) instead — a compulsory miss. Fresh blocks
+	// are re-referenced within the window shortly after admission, the
+	// temporal clustering real commercial workloads exhibit and the
+	// behaviour DNUCA's insert-far/promote-on-reuse placement learns.
+	ColdWindowMB float64
+	// ColdTurnover is the fresh-block probability per cold reference;
+	// the cold miss rate is ColdFrac * MemFrac * ColdTurnover.
+	ColdTurnover float64
+	// RecentFrac of references revisit a block streamed a short while
+	// ago (beyond L1 reach, within L2 reach) — the short-reuse traffic
+	// that gives the streaming SPECfp benchmarks their small hit rates,
+	// hitting DNUCA's *far* banks (Table 6: swim close-hit 0.7% with a
+	// 17% hit rate, promotes/inserts 0.15).
+	RecentFrac float64
+	// StoreFrac of memory operations are stores.
+	StoreFrac float64
+	// MemFrac of instructions are memory operations.
+	MemFrac float64
+	// DepFrac is the probability a load depends on the previous load
+	// (pointer chasing serializes mcf; streaming code barely does).
+	DepFrac float64
+	// SerialFrac is the probability a non-memory instruction depends on
+	// its predecessor — the ILP limiter that keeps base IPC realistic.
+	// Zero selects the default of 0.35.
+	SerialFrac float64
+	// MispredictEvery is the mean instructions between branch
+	// mispredictions (each costs a 30-stage pipeline refill). Zero
+	// selects the default of 250.
+	MispredictEvery int
+}
+
+// Generator produces the instruction stream for a Spec.
+type Generator struct {
+	spec Spec
+	rng  *rand.Rand
+
+	l1Blocks, hotBlocks, coldBlocks uint64
+	l1Base, hotBase, coldBase       uint64
+	streamPtr                       uint64
+	streamLeft                      int
+	windowHead                      uint64
+	reverse                         map[mem.Block]uint64
+
+	// memCredit implements the deterministic memory-op density.
+	memCredit float64
+}
+
+// New builds a deterministic generator for the spec with the given seed.
+func New(spec Spec, seed int64) *Generator {
+	if spec.FootprintMB <= 0 {
+		panic(fmt.Sprintf("workload: %q has no footprint", spec.Name))
+	}
+	l1 := uint64(spec.L1MB * blocksPerMB)
+	hot := uint64(spec.HotMB * blocksPerMB)
+	total := uint64(spec.FootprintMB * blocksPerMB)
+	if l1+hot > total {
+		panic(fmt.Sprintf("workload: %q regions exceed footprint", spec.Name))
+	}
+	cold := total - l1 - hot
+	if cold == 0 {
+		cold = 1
+	}
+	return &Generator{
+		spec:       spec,
+		rng:        rand.New(rand.NewSource(seed)),
+		l1Blocks:   max64(l1, 1),
+		hotBlocks:  max64(hot, 1),
+		coldBlocks: cold,
+		l1Base:     0,
+		hotBase:    l1,
+		coldBase:   l1 + hot,
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Spec reports the generator's spec.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// Next implements cpu.Stream.
+func (g *Generator) Next() cpu.Instr {
+	g.memCredit += g.spec.MemFrac
+	if g.memCredit < 1 {
+		in := cpu.Instr{}
+		serial := g.spec.SerialFrac
+		if serial == 0 {
+			serial = 0.35
+		}
+		if g.rng.Float64() < serial {
+			in.Dep = true
+		}
+		every := g.spec.MispredictEvery
+		if every == 0 {
+			every = 250
+		}
+		if g.rng.Intn(every) == 0 {
+			in.Mispredict = true
+		}
+		return in
+	}
+	g.memCredit--
+	blk := g.nextBlock()
+	isStore := g.rng.Float64() < g.spec.StoreFrac
+	dep := !isStore && g.rng.Float64() < g.spec.DepFrac
+	return cpu.Instr{IsMem: true, IsStore: isStore, Block: blk, Dep: dep}
+}
+
+// layout maps the generator's dense internal block ids onto a sparse
+// physical address space: ids stay contiguous within 256 KB chunks (4 K
+// blocks), but chunk numbers scatter pseudo-randomly across a ~1 TB range.
+// Real processes see exactly this shape — contiguous arrays at scattered
+// virtual/physical regions — and it is what gives cache tags their
+// diversity: without it, a contiguous footprint yields a handful of
+// structured tags and partial-tag aliasing (DNUCA's false-positive
+// searches, TLCopt's multi-matches) can never occur. The mix is a
+// splitmix64 finalizer; with at most thousands of chunks in a 2^28 space,
+// accidental chunk collisions are negligible.
+func layout(id uint64) mem.Block {
+	const chunkBits = 12
+	const mask = 1<<28 - 1
+	chunk := id >> chunkBits
+	chunk ^= chunk >> 30 // pre-mix is a no-op for small ids; kept for form
+	chunk *= 0xbf58476d1ce4e5b9
+	chunk ^= chunk >> 27
+	chunk *= 0x94d049bb133111eb
+	chunk ^= chunk >> 31
+	return mem.Block((chunk&mask)<<chunkBits | id&(1<<chunkBits-1))
+}
+
+// nextBlock picks the next referenced block by region.
+func (g *Generator) nextBlock() mem.Block {
+	r := g.rng.Float64()
+	switch {
+	case r < g.spec.L1Frac:
+		return layout(g.l1Base + uint64(g.rng.Int63n(int64(g.l1Blocks))))
+	case r < g.spec.L1Frac+g.spec.HotFrac:
+		return layout(g.hotBase + g.skewed(g.hotBlocks))
+	case r < g.spec.L1Frac+g.spec.HotFrac+g.spec.StreamFrac:
+		if g.streamLeft <= 0 {
+			g.streamPtr = (g.streamPtr + 1) % g.coldBlocks
+			repeat := g.spec.StreamRepeat
+			if repeat <= 0 {
+				repeat = 8
+			}
+			g.streamLeft = repeat
+		}
+		g.streamLeft--
+		return layout(g.coldBase + g.streamPtr)
+	case r < g.spec.L1Frac+g.spec.HotFrac+g.spec.StreamFrac+g.spec.RecentFrac:
+		// Revisit a block streamed 1K-16K blocks ago: evicted from the
+		// 64 KB L1 (1K blocks) but still in the L2.
+		delta := uint64(1024 + g.rng.Int63n(15*1024))
+		if delta >= g.coldBlocks {
+			delta = g.coldBlocks - 1
+		}
+		return layout(g.coldBase + (g.streamPtr+g.coldBlocks-delta)%g.coldBlocks)
+	default:
+		if g.spec.ColdWindowMB > 0 {
+			return layout(g.coldBase + g.windowRef())
+		}
+		if g.spec.ColdSkew > 0 {
+			return layout(g.coldBase + g.skewedN(g.coldBlocks, g.spec.ColdSkew))
+		}
+		return layout(g.coldBase + uint64(g.rng.Int63n(int64(g.coldBlocks))))
+	}
+}
+
+// windowRef implements the sliding working-set model: admit a fresh block
+// with probability ColdTurnover, else revisit the current window. Indices
+// count backward from the window head, wrapping over the cold region.
+func (g *Generator) windowRef() uint64 {
+	window := uint64(g.spec.ColdWindowMB * blocksPerMB)
+	if window == 0 || window > g.coldBlocks {
+		window = g.coldBlocks
+	}
+	if g.rng.Float64() < g.spec.ColdTurnover {
+		g.windowHead = (g.windowHead + 1) % g.coldBlocks
+		return g.windowHead
+	}
+	back := uint64(g.rng.Int63n(int64(window)))
+	return (g.windowHead + g.coldBlocks - back) % g.coldBlocks
+}
+
+// skewed draws an index in [0,n) with the spec's hot-region skew.
+func (g *Generator) skewed(n uint64) uint64 { return g.skewedN(n, g.spec.HotSkew) }
+
+// skewedN draws an index in [0,n) with `levels` rounds of nested 80/20
+// skew: each round keeps the first fifth of the range with probability
+// 0.8.
+func (g *Generator) skewedN(n uint64, levels int) uint64 {
+	lo, hi := uint64(0), n
+	for level := 0; level < levels && hi-lo > 5; level++ {
+		if g.rng.Float64() < 0.8 {
+			hi = lo + (hi-lo)/5
+		} else {
+			lo += (hi - lo) / 5
+		}
+	}
+	return lo + uint64(g.rng.Int63n(int64(hi-lo)))
+}
+
+// Region classifies a laid-out block address by the footprint region it
+// came from: "l1", "hot", "cold", or "outside". Useful for analyzing which
+// traffic class a cache design penalizes. The reverse index is built
+// lazily on first use.
+func (g *Generator) Region(b mem.Block) string {
+	if g.reverse == nil {
+		g.reverse = make(map[mem.Block]uint64, g.TotalBlocks())
+		for id := uint64(0); id < g.TotalBlocks(); id++ {
+			g.reverse[layout(id)] = id
+		}
+	}
+	id, ok := g.reverse[b]
+	switch {
+	case !ok:
+		return "outside"
+	case id < g.hotBase:
+		return "l1"
+	case id < g.coldBase:
+		return "hot"
+	default:
+		return "cold"
+	}
+}
+
+// TotalBlocks reports the footprint in 64-byte blocks.
+func (g *Generator) TotalBlocks() uint64 {
+	return g.l1Blocks + g.hotBlocks + g.coldBlocks
+}
+
+// l2CapacityBlocks is the 16 MB L2 in blocks, bounding how much of a huge
+// footprint a pre-warm can usefully install.
+const l2CapacityBlocks = 16 * blocksPerMB // 16 MB / 64 B
+
+// PreWarm installs the cache-relevant slice of the footprint functionally:
+// the most recently streamed cold blocks first (they come out coldest —
+// LRU in the recency designs, farthest banks in DNUCA), then the hot
+// region, then the L1-hot region. The cold window is sized so hot data is
+// never displaced: capacity minus the hot regions. The generator's Warm
+// pass then establishes steady-state recency and migration state.
+func (g *Generator) PreWarm(c l2.Cache) {
+	budget := uint64(l2CapacityBlocks)
+	hotTotal := g.hotBlocks + g.l1Blocks
+	var coldWindow uint64
+	if budget > hotTotal {
+		// Fill to three quarters of the remaining capacity, not all of
+		// it: block-to-set mapping is Poisson, so filling to the global
+		// mean would overflow a third of the sets and spill the
+		// hot-region blocks (inserted last) into placements a warmed-up
+		// cache would never leave them in.
+		coldWindow = (budget - hotTotal) * 3 / 4
+	}
+	if coldWindow > g.coldBlocks {
+		coldWindow = g.coldBlocks
+	}
+	// The stream resumes at streamPtr (= 0, i.e. just past cold[N-1]); the
+	// window just behind it is what a long-running process would have
+	// resident, oldest first.
+	for i := coldWindow; i > 0; i-- {
+		c.Warm(layout(g.coldBase + g.coldBlocks - i))
+	}
+	for b := g.hotBase; b < g.hotBase+g.hotBlocks; b++ {
+		c.Warm(layout(b))
+	}
+	for b := g.l1Base; b < g.l1Base+g.l1Blocks; b++ {
+		c.Warm(layout(b))
+	}
+}
+
+// Specs returns the twelve benchmark specs in the paper's Table 6 order.
+func Specs() []Spec {
+	return []Spec{
+		// SPECint 2000. Small footprints that fit the 16 MB L2; miss
+		// rates near zero (Table 6: 0.019-0.068 per 1K instructions).
+		// bzip's hot set mostly fits DNUCA's 2 MB of close banks
+		// (close-hit 81%).
+		{Name: "bzip", FootprintMB: 7, L1MB: 0.03, L1Frac: 0.954, HotMB: 1.0, HotFrac: 0.028,
+			StreamFrac: 0.016, StoreFrac: 0.30, MemFrac: 0.30, DepFrac: 0.45, SerialFrac: 0.6},
+		// gcc's hot set fits the close banks: 99% close hits.
+		{Name: "gcc", FootprintMB: 6, L1MB: 0.03, L1Frac: 0.78, HotMB: 1.6, HotFrac: 0.21,
+			HotSkew: 1, StreamFrac: 0.005, StoreFrac: 0.35, MemFrac: 0.35, DepFrac: 0.45, SerialFrac: 0.6},
+		// mcf: pointer chasing over a large in-cache footprint; the close
+		// banks hold only a fraction of its hot set (close-hit 48%), and
+		// dependent loads expose the full L2 latency.
+		{Name: "mcf", FootprintMB: 10, L1MB: 0.02, L1Frac: 0.716, HotMB: 5, HotFrac: 0.27,
+			StreamFrac: 0.01, StoreFrac: 0.15, MemFrac: 0.40, DepFrac: 0.75, SerialFrac: 0.5},
+		{Name: "perl", FootprintMB: 4, L1MB: 0.03, L1Frac: 0.9837, HotMB: 0.4, HotFrac: 0.015,
+			HotSkew: 2, StreamFrac: 0.0, StoreFrac: 0.35, MemFrac: 0.30, DepFrac: 0.40, SerialFrac: 0.6},
+		// SPECfp 2000. equake mixes a large frequently-reused set with a
+		// stream — the case that separates DNUCA's insertion policy from
+		// TLC's LRU (Section 6.1). The streamers (swim, applu, lucas)
+		// miss on nearly every L2 request; their few hits are short-reuse
+		// revisits landing in DNUCA's far banks.
+		{Name: "equake", FootprintMB: 160, L1MB: 0.03, L1Frac: 0.8806, HotMB: 12, HotFrac: 0.0214,
+			StreamFrac: 0.096, StoreFrac: 0.20, MemFrac: 0.35, DepFrac: 0.25},
+		// swim is nearly pure streaming: its few hits are short-reuse
+		// revisits to recently streamed blocks, which sit in DNUCA's far
+		// banks (close-hit 0.7%, promotes/inserts 0.15).
+		{Name: "swim", FootprintMB: 192, L1MB: 0.004, L1Frac: 0.06, HotMB: 0.25, HotFrac: 0.002,
+			StreamFrac: 0.92, RecentFrac: 0.014, StoreFrac: 0.35, MemFrac: 0.40, DepFrac: 0.10},
+		{Name: "applu", FootprintMB: 180, L1MB: 0.03, L1Frac: 0.627, HotMB: 0.25, HotFrac: 0.002,
+			StreamFrac: 0.366, RecentFrac: 0.003, StoreFrac: 0.35, MemFrac: 0.35, DepFrac: 0.10},
+		{Name: "lucas", FootprintMB: 140, L1MB: 0.03, L1Frac: 0.6413, HotMB: 0.5, HotFrac: 0.004,
+			StreamFrac: 0.3467, RecentFrac: 0.0065, StoreFrac: 0.25, MemFrac: 0.30, DepFrac: 0.10},
+		// Commercial workloads: large footprints, a cache-resident hot
+		// set, and a cold tail whose misses set the Table 6 rates.
+		{Name: "apache", FootprintMB: 120, L1MB: 0.03, L1Frac: 0.913, HotMB: 2.5, HotFrac: 0.048,
+			HotSkew: 1, ColdWindowMB: 1.2, ColdTurnover: 0.33, StreamFrac: 0.002,
+			StoreFrac: 0.30, MemFrac: 0.35, DepFrac: 0.45, SerialFrac: 0.5},
+		{Name: "zeus", FootprintMB: 130, L1MB: 0.03, L1Frac: 0.918, HotMB: 0.6, HotFrac: 0.030,
+			HotSkew: 1, ColdWindowMB: 1.2, ColdTurnover: 0.33, StreamFrac: 0.002,
+			StoreFrac: 0.30, MemFrac: 0.35, DepFrac: 0.45, SerialFrac: 0.5},
+		{Name: "sjbb", FootprintMB: 100, L1MB: 0.03, L1Frac: 0.958, HotMB: 0.8, HotFrac: 0.023,
+			HotSkew: 1, ColdWindowMB: 1.2, ColdTurnover: 0.33, StreamFrac: 0.002,
+			StoreFrac: 0.30, MemFrac: 0.35, DepFrac: 0.40, SerialFrac: 0.5},
+		{Name: "oltp", FootprintMB: 60, L1MB: 0.03, L1Frac: 0.9805, HotMB: 1.2, HotFrac: 0.0136,
+			HotSkew: 2, ColdWindowMB: 1.0, ColdTurnover: 0.33, StreamFrac: 0.001,
+			StoreFrac: 0.35, MemFrac: 0.35, DepFrac: 0.50, SerialFrac: 0.5},
+	}
+}
+
+// AutoWarmInstructions reports a warm-up length that gives every block of
+// the hot working set roughly five L2-visible touches — enough for DNUCA's
+// accelerated warm promotion to reach its steady-state placement —
+// clamped to [4 M, 24 M] instructions.
+func (s Spec) AutoWarmInstructions() uint64 {
+	const touches = 5
+	hotBlocks := s.HotMB * blocksPerMB
+	rate := s.MemFrac * s.HotFrac
+	warm := uint64(4_000_000)
+	if rate > 0 {
+		if w := uint64(touches * hotBlocks / rate); w > warm {
+			warm = w
+		}
+	}
+	if warm > 24_000_000 {
+		warm = 24_000_000
+	}
+	return warm
+}
+
+// SpecByName looks up one of the twelve benchmarks.
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Names lists the benchmark names in order.
+func Names() []string {
+	specs := Specs()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}

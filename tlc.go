@@ -1,0 +1,338 @@
+// Package tlc is the public API of this reproduction of "TLC: Transmission
+// Line Caches" (Beckmann & Wood, MICRO 2003). It builds any of the paper's
+// six level-2 cache designs, runs the twelve synthetic benchmarks against
+// them on the Table 3 processor model, and reports every metric the
+// paper's tables and figures use.
+//
+// Quick start:
+//
+//	res, err := tlc.Run(tlc.DesignTLC, "gcc", tlc.DefaultOptions())
+//	fmt.Printf("IPC %.3f, mean L2 lookup %.1f cycles\n", res.IPC, res.MeanLookup)
+//
+// The per-design physical models are also exposed: tlc.Area and
+// tlc.Transistors reproduce Tables 7-8, and tlc.AnalyzeLines the Table 1
+// signal-integrity study.
+package tlc
+
+import (
+	"fmt"
+
+	"tlc/internal/area"
+	"tlc/internal/config"
+	"tlc/internal/cpu"
+	"tlc/internal/dram"
+	"tlc/internal/l2"
+	"tlc/internal/noc"
+	"tlc/internal/nuca"
+	"tlc/internal/power"
+	"tlc/internal/sim"
+	"tlc/internal/tlcache"
+	"tlc/internal/tline"
+	"tlc/internal/workload"
+)
+
+// Design identifies one of the six evaluated cache designs.
+type Design = config.Design
+
+// The six designs of Table 2.
+const (
+	DesignSNUCA2     = config.SNUCA2
+	DesignDNUCA      = config.DNUCA
+	DesignTLC        = config.TLC
+	DesignTLCOpt1000 = config.TLCOpt1000
+	DesignTLCOpt500  = config.TLCOpt500
+	DesignTLCOpt350  = config.TLCOpt350
+)
+
+// Designs lists every design in Table 2 order.
+func Designs() []Design { return config.AllDesigns() }
+
+// TLCFamily lists the four transmission-line designs (Figures 7-8).
+func TLCFamily() []Design { return config.TLCFamily() }
+
+// Benchmarks lists the twelve benchmark names in Table 6 order.
+func Benchmarks() []string { return workload.Names() }
+
+// Options controls one simulation run.
+type Options struct {
+	// WarmInstructions run functionally before timing starts. Zero means
+	// automatic: enough to converge the hot working set's placement
+	// (workload.Spec.AutoWarmInstructions).
+	WarmInstructions uint64
+	// RunInstructions are timed.
+	RunInstructions uint64
+	// Seed makes the synthetic trace deterministic; the same seed gives
+	// the identical instruction stream to every design.
+	Seed int64
+	// UseDRAM replaces the Table 3 flat 300-cycle memory with the banked
+	// DRAM model (channels, banks, row buffers) — the substrate extension
+	// for memory-system sensitivity studies.
+	UseDRAM bool
+	// BitErrorRate enables transmission-line noise injection with
+	// end-to-end SEC-DED ECC at the controller (TLC designs only):
+	// single-bit upsets are corrected in place, detected double-bit
+	// errors cost a retry round trip. Zero disables injection.
+	BitErrorRate float64
+}
+
+// DefaultOptions returns the standard scaled run: automatic functional
+// warm-up (4-24 M instructions, scaled to the benchmark's hot set) and 2 M
+// timed instructions (the paper runs 0.5-1 B warm and 500 M timed on
+// Simics; Section 4 of DESIGN.md discusses the scaling).
+func DefaultOptions() Options {
+	return Options{RunInstructions: 2_000_000, Seed: 1}
+}
+
+// Result is the outcome of one (design, benchmark) run.
+type Result struct {
+	Design    Design
+	Benchmark string
+
+	// Core-level results.
+	Instructions uint64
+	Cycles       uint64
+	IPC          float64
+
+	// L2 request statistics (Table 6).
+	L2Loads         uint64
+	L2Stores        uint64
+	MissesPer1K     float64
+	MeanLookup      float64
+	PredictablePct  float64
+	BanksPerRequest float64
+
+	// Interconnect results.
+	LinkUtilization float64 // TLC designs only (Figure 7)
+	NetworkPowerW   float64 // Table 9
+
+	// DNUCA-specific results (Table 6).
+	CloseHitPct       float64
+	PromotesPerInsert float64
+
+	// Reliability results (TLC designs with a nonzero BitErrorRate).
+	ECCCorrections uint64
+	ECCRetries     uint64
+}
+
+// instance couples a design implementation with its design-specific
+// reporting hooks.
+type instance struct {
+	cache l2.Cache
+	stats func() *l2.Stats
+	// finish folds design-specific metrics into the result after the run.
+	finish func(res *Result, cycles sim.Time)
+}
+
+// build instantiates a design.
+func build(d Design, opt Options) instance {
+	sys := config.DefaultSystem()
+	var memory l2.Memory
+	if opt.UseDRAM {
+		memory = dram.New(dram.Default())
+	}
+	switch d {
+	case config.SNUCA2:
+		s := nuca.NewSNUCA(sys.MemoryLatency)
+		if memory != nil {
+			s.SetMemory(memory)
+		}
+		return instance{
+			cache: s,
+			stats: s.L2Stats,
+			finish: func(res *Result, cycles sim.Time) {
+				res.NetworkPowerW = power.MeshDynamicPowerW(s.Mesh(), cycles)
+			},
+		}
+	case config.DNUCA:
+		dn := nuca.NewDNUCA(sys.MemoryLatency)
+		if memory != nil {
+			dn.SetMemory(memory)
+		}
+		return instance{
+			cache: dn,
+			stats: dn.L2Stats,
+			finish: func(res *Result, cycles sim.Time) {
+				res.NetworkPowerW = power.MeshDynamicPowerW(dn.Mesh(), cycles)
+				res.CloseHitPct = dn.CloseHitPct()
+				res.PromotesPerInsert = dn.PromotesPerInsert()
+			},
+		}
+	default:
+		tc := tlcache.New(d, sys.MemoryLatency)
+		if memory != nil {
+			tc.SetMemory(memory)
+		}
+		if opt.BitErrorRate > 0 {
+			tc.SetNoise(opt.BitErrorRate)
+		}
+		return instance{
+			cache: tc,
+			stats: tc.L2Stats,
+			finish: func(res *Result, cycles sim.Time) {
+				res.NetworkPowerW = power.TLCDynamicPowerW(tc, cycles)
+				res.LinkUtilization = tc.LinkUtilization(cycles)
+				res.ECCCorrections = tc.ECCCorrections
+				res.ECCRetries = tc.ECCRetries
+			},
+		}
+	}
+}
+
+// Run simulates one benchmark on one design.
+func Run(d Design, benchmark string, opt Options) (Result, error) {
+	spec, ok := workload.SpecByName(benchmark)
+	if !ok {
+		return Result{}, fmt.Errorf("tlc: unknown benchmark %q", benchmark)
+	}
+	return RunSpec(d, spec, opt), nil
+}
+
+// RunSpec simulates a custom workload spec on one design.
+func RunSpec(d Design, spec workload.Spec, opt Options) Result {
+	sys := config.DefaultSystem()
+	inst := build(d, opt)
+	gen := workload.New(spec, opt.Seed)
+	core := cpu.New(sys, inst.cache)
+	// Pre-warm installs the whole footprint so capacity state matches a
+	// long-running process, then the trace warm-up establishes recency and
+	// migration steady state.
+	gen.PreWarm(inst.cache)
+	warm := opt.WarmInstructions
+	if warm == 0 {
+		warm = spec.AutoWarmInstructions()
+	}
+	core.Warm(gen, warm)
+	cr := core.Run(gen, opt.RunInstructions)
+
+	st := inst.stats()
+	res := Result{
+		Design:          d,
+		Benchmark:       spec.Name,
+		Instructions:    cr.Instructions,
+		Cycles:          uint64(cr.Cycles),
+		IPC:             cr.IPC(),
+		L2Loads:         st.Loads.Value(),
+		L2Stores:        st.Stores.Value(),
+		MissesPer1K:     st.MissesPer1K(cr.Instructions),
+		MeanLookup:      st.Lookup.Mean(),
+		PredictablePct:  st.PredictablePct(),
+		BanksPerRequest: st.BanksPerRequest(),
+	}
+	inst.finish(&res, cr.Cycles)
+	return res
+}
+
+// SeedStats summarizes a metric across seeds: the reproduction's
+// seed-robustness check.
+type SeedStats struct {
+	Mean, Min, Max float64
+}
+
+// Spread reports (max-min)/mean, a unitless robustness measure.
+func (s SeedStats) Spread() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return (s.Max - s.Min) / s.Mean
+}
+
+// RunSeeds runs one (design, benchmark) pair across several seeds and
+// summarizes cycles, mean lookup latency, and misses/1K. Conclusions that
+// survive the seed sweep are workload-structure effects, not artifacts of
+// one random stream.
+func RunSeeds(d Design, benchmark string, opt Options, seeds []int64) (cycles, lookup, misses SeedStats, err error) {
+	if len(seeds) == 0 {
+		return cycles, lookup, misses, fmt.Errorf("tlc: no seeds")
+	}
+	summ := func(vals []float64) SeedStats {
+		st := SeedStats{Min: vals[0], Max: vals[0]}
+		for _, v := range vals {
+			st.Mean += v
+			if v < st.Min {
+				st.Min = v
+			}
+			if v > st.Max {
+				st.Max = v
+			}
+		}
+		st.Mean /= float64(len(vals))
+		return st
+	}
+	var cs, ls, ms []float64
+	for _, seed := range seeds {
+		o := opt
+		o.Seed = seed
+		res, rerr := Run(d, benchmark, o)
+		if rerr != nil {
+			return cycles, lookup, misses, rerr
+		}
+		cs = append(cs, float64(res.Cycles))
+		ls = append(ls, res.MeanLookup)
+		ms = append(ms, res.MissesPer1K)
+	}
+	return summ(cs), summ(ls), summ(ms), nil
+}
+
+// AreaBreakdown is one Table 7 row.
+type AreaBreakdown = area.Breakdown
+
+// Area reports the substrate-area breakdown of a design (Table 7).
+func Area(d Design) AreaBreakdown { return area.DesignArea(d) }
+
+// NetworkTransistors is one Table 8 row.
+type NetworkTransistors = area.NetworkTransistors
+
+// Transistors reports the communication-network transistor demand of a
+// design (Table 8).
+func Transistors(d Design) NetworkTransistors { return area.DesignTransistors(d) }
+
+// LineReport is the physical analysis of one transmission-line geometry.
+type LineReport = tline.Signal
+
+// AnalyzeLines runs the Table 1 geometries through the physical model:
+// extraction, flight time, and signal-integrity acceptance.
+func AnalyzeLines() []LineReport {
+	var out []LineReport
+	for _, g := range tline.Table1() {
+		out = append(out, tline.Analyze(g))
+	}
+	return out
+}
+
+// UncontendedRange reports a design's Table 2 uncontended-latency range.
+func UncontendedRange(d Design) (min, max uint64) {
+	sys := config.DefaultSystem()
+	switch d {
+	case config.SNUCA2:
+		a, b := nuca.NewSNUCA(sys.MemoryLatency).NominalRange()
+		return uint64(a), uint64(b)
+	case config.DNUCA:
+		a, b := nuca.NewDNUCA(sys.MemoryLatency).NominalRange()
+		return uint64(a), uint64(b)
+	default:
+		a, b := tlcache.New(d, sys.MemoryLatency).NominalRange()
+		return uint64(a), uint64(b)
+	}
+}
+
+// TotalLines reports a TLC design's transmission-line count (Table 2);
+// zero for the NUCA designs.
+func TotalLines(d Design) int {
+	switch d {
+	case config.SNUCA2, config.DNUCA:
+		return 0
+	default:
+		return config.TLCFor(d).TotalLines()
+	}
+}
+
+// MeshSegments exposes the NUCA mesh segment count for reporting; zero for
+// TLC designs.
+func MeshSegments(d Design) int {
+	switch d {
+	case config.SNUCA2, config.DNUCA:
+		return noc.New(config.NUCAFor(d).Mesh).SegmentCount()
+	default:
+		return 0
+	}
+}
