@@ -1,0 +1,166 @@
+// Command tlcbench runs the evaluation grid and emits the headline metrics
+// as JSON (the BENCH_*.json trajectory format): per-run records plus the
+// paper's aggregate comparisons and the harness's own performance
+// (wall-clock per run, total simulation time, parallel speedup basis).
+//
+//	tlcbench                      # 3-design x 12-benchmark headline grid
+//	tlcbench -full                # all 6 designs
+//	tlcbench -quick               # reduced scale (200 K timed instructions)
+//	tlcbench -par 8 -out bench.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"tlc"
+	"tlc/internal/experiments"
+	"tlc/internal/stats"
+)
+
+// record is one completed run's headline metrics.
+type record struct {
+	Design          string  `json:"design"`
+	Benchmark       string  `json:"benchmark"`
+	Cycles          uint64  `json:"cycles"`
+	IPC             float64 `json:"ipc"`
+	MeanLookup      float64 `json:"mean_lookup_cycles"`
+	MissesPer1K     float64 `json:"misses_per_1k"`
+	PredictablePct  float64 `json:"predictable_pct"`
+	LinkUtilization float64 `json:"link_utilization"`
+	NetworkPowerW   float64 `json:"network_power_w"`
+	WallMS          float64 `json:"wall_ms"`
+}
+
+// document is the emitted JSON shape.
+type document struct {
+	TimedInstructions uint64             `json:"timed_instructions"`
+	Seed              int64              `json:"seed"`
+	Par               int                `json:"par"`
+	Runs              []record           `json:"runs"`
+	Headline          map[string]float64 `json:"headline"`
+	SimulatedRuns     uint64             `json:"simulated_runs"`
+	SimWallMS         float64            `json:"sim_wall_ms"`
+	ElapsedMS         float64            `json:"elapsed_ms"`
+}
+
+func main() {
+	full := flag.Bool("full", false, "all six designs (default: SNUCA2, DNUCA, TLC)")
+	quick := flag.Bool("quick", false, "reduced scale (200K timed instructions)")
+	par := flag.Int("par", runtime.NumCPU(), "simulation parallelism")
+	seed := flag.Int64("seed", 1, "workload seed")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	opt := tlc.DefaultOptions()
+	opt.Seed = *seed
+	if *quick {
+		opt.RunInstructions = 200_000
+		opt.WarmInstructions = 2_000_000
+	}
+	designs := []tlc.Design{tlc.DesignSNUCA2, tlc.DesignDNUCA, tlc.DesignTLC}
+	if *full {
+		designs = tlc.Designs()
+	}
+	benches := tlc.Benchmarks()
+
+	s := experiments.NewSuite(opt)
+	var mu sync.Mutex
+	wall := make(map[string]time.Duration)
+	s.OnRun = func(ev experiments.RunEvent) {
+		mu.Lock()
+		wall[ev.Design.String()+"/"+ev.Benchmark] = ev.Wall
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	if err := s.RunAll(designs, benches, *par); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	doc := document{
+		TimedInstructions: opt.RunInstructions,
+		Seed:              opt.Seed,
+		Par:               *par,
+		Headline:          map[string]float64{},
+		ElapsedMS:         float64(elapsed.Microseconds()) / 1000,
+	}
+	m := s.Metrics()
+	doc.SimulatedRuns = m.Simulated
+	doc.SimWallMS = float64(m.SimWall.Microseconds()) / 1000
+
+	norm := map[tlc.Design]*stats.Series{}
+	for _, d := range designs {
+		norm[d] = &stats.Series{Name: d.String()}
+	}
+	for _, d := range designs {
+		for _, b := range benches {
+			r := s.Run(d, b)
+			doc.Runs = append(doc.Runs, record{
+				Design:          d.String(),
+				Benchmark:       b,
+				Cycles:          r.Cycles,
+				IPC:             r.IPC,
+				MeanLookup:      r.MeanLookup,
+				MissesPer1K:     r.MissesPer1K,
+				PredictablePct:  r.PredictablePct,
+				LinkUtilization: r.LinkUtilization,
+				NetworkPowerW:   r.NetworkPowerW,
+				WallMS:          float64(wall[d.String()+"/"+b].Microseconds()) / 1000,
+			})
+			base := float64(s.Run(tlc.DesignSNUCA2, b).Cycles)
+			norm[d].Append(b, float64(r.Cycles)/base)
+		}
+	}
+
+	// The Figure 5/8 headline: normalized execution time geomeans.
+	for _, d := range designs {
+		doc.Headline["norm_exec_geomean_"+d.String()] = norm[d].GeoMean()
+	}
+	// Harness performance headline for the trajectory.
+	if m.Simulated > 0 {
+		doc.Headline["mean_run_wall_ms"] = doc.SimWallMS / float64(m.Simulated)
+	}
+	if elapsed > 0 {
+		// Summed per-run wall-clock over elapsed time: the parallel
+		// overlap factor. With free cores this equals the wall-clock
+		// speedup over a serial sweep.
+		doc.Headline["parallel_overlap"] = float64(m.SimWall) / float64(elapsed)
+	}
+	sortRecords(doc.Runs)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// sortRecords keeps the emitted order stable regardless of execution order.
+func sortRecords(rs []record) {
+	sort.SliceStable(rs, func(i, j int) bool {
+		if rs[i].Design != rs[j].Design {
+			return rs[i].Design < rs[j].Design
+		}
+		return rs[i].Benchmark < rs[j].Benchmark
+	})
+}

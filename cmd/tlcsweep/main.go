@@ -6,17 +6,27 @@
 //	tlcsweep -seeds         # seed robustness of the headline comparisons
 //	tlcsweep -geometry      # width x length signal-integrity acceptance
 //	tlcsweep -bench mcf     # benchmark for the simulation sweeps
+//	tlcsweep -par 8         # simulation parallelism
+//
+// Simulation runs are deterministic and independent, so output is
+// byte-identical for every -par value: workers fill result slots keyed by
+// grid position and rendering stays serial.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
+	"sync"
 
 	"tlc"
+	"tlc/internal/experiments"
 	"tlc/internal/report"
 	"tlc/internal/tline"
 )
+
+var par = flag.Int("par", runtime.NumCPU(), "simulation parallelism")
 
 func main() {
 	bench := flag.String("bench", "mcf", "benchmark for simulation sweeps")
@@ -46,21 +56,39 @@ func main() {
 }
 
 func memorySweep(bench string) {
+	designs := []tlc.Design{tlc.DesignSNUCA2, tlc.DesignDNUCA, tlc.DesignTLC}
+	// One suite per memory model: a suite keys its run cache by (design,
+	// benchmark), so distinct Options need distinct suites. RunAll fills
+	// both grids in parallel; the table then renders from cache hits.
+	flatOpt := tlc.DefaultOptions()
+	drOpt := flatOpt
+	drOpt.UseDRAM = true
+	flat := experiments.NewSuite(flatOpt)
+	banked := experiments.NewSuite(drOpt)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, s := range []*experiments.Suite{flat, banked} {
+		wg.Add(1)
+		go func(i int, s *experiments.Suite) {
+			defer wg.Done()
+			errs[i] = s.RunAll(designs, []string{bench}, (*par+1)/2)
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	t := report.NewTable(fmt.Sprintf("Memory-model sensitivity (%s)", bench),
 		"Design", "Flat 300 (cycles)", "Banked DRAM (cycles)", "Ratio")
-	for _, d := range []tlc.Design{tlc.DesignSNUCA2, tlc.DesignDNUCA, tlc.DesignTLC} {
-		opt := tlc.DefaultOptions()
-		flat, err := tlc.Run(d, bench, opt)
-		if err != nil {
-			log.Fatal(err)
-		}
-		opt.UseDRAM = true
-		banked, err := tlc.Run(d, bench, opt)
-		if err != nil {
-			log.Fatal(err)
-		}
-		t.AddRow(d.String(), float64(flat.Cycles), float64(banked.Cycles),
-			float64(banked.Cycles)/float64(flat.Cycles))
+	for _, d := range designs {
+		fr := flat.Run(d, bench)
+		br := banked.Run(d, bench)
+		t.AddRow(d.String(), float64(fr.Cycles), float64(br.Cycles),
+			float64(br.Cycles)/float64(fr.Cycles))
 	}
 	fmt.Println(t)
 	fmt.Println("The cache-design comparison should survive the memory model;")
@@ -70,15 +98,35 @@ func memorySweep(bench string) {
 
 func seedSweep(bench string) {
 	seeds := []int64{1, 2, 3, 5, 8}
+	designs := []tlc.Design{tlc.DesignSNUCA2, tlc.DesignDNUCA, tlc.DesignTLC}
+
+	type row struct {
+		cyc, lookup tlc.SeedStats
+		err         error
+	}
+	rows := make([]row, len(designs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, max(1, *par))
+	for i, d := range designs {
+		wg.Add(1)
+		go func(i int, d tlc.Design) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cyc, lookup, _, err := tlc.RunSeeds(d, bench, tlc.DefaultOptions(), seeds)
+			rows[i] = row{cyc: cyc, lookup: lookup, err: err}
+		}(i, d)
+	}
+	wg.Wait()
+
 	t := report.NewTable(fmt.Sprintf("Seed robustness over %v (%s)", seeds, bench),
 		"Design", "Cycles mean", "Cycles spread", "Lookup mean", "Lookup spread")
-	for _, d := range []tlc.Design{tlc.DesignSNUCA2, tlc.DesignDNUCA, tlc.DesignTLC} {
-		cyc, lookup, _, err := tlc.RunSeeds(d, bench, tlc.DefaultOptions(), seeds)
-		if err != nil {
-			log.Fatal(err)
+	for i, d := range designs {
+		if rows[i].err != nil {
+			log.Fatal(rows[i].err)
 		}
-		t.AddRow(d.String(), cyc.Mean, fmt.Sprintf("%.2f%%", cyc.Spread()*100),
-			lookup.Mean, fmt.Sprintf("%.2f%%", lookup.Spread()*100))
+		t.AddRow(d.String(), rows[i].cyc.Mean, fmt.Sprintf("%.2f%%", rows[i].cyc.Spread()*100),
+			rows[i].lookup.Mean, fmt.Sprintf("%.2f%%", rows[i].lookup.Spread()*100))
 	}
 	fmt.Println(t)
 }

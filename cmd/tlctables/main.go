@@ -5,8 +5,13 @@
 //	tlctables -long      # 10x longer timed runs
 //	tlctables -quick     # fast sanity pass (200 K timed instructions)
 //	tlctables -par 8     # simulation parallelism
+//	tlctables -v         # per-run wall-clock progress on stderr
 //	tlctables -only fig5 # one experiment: table1|table2|table6|table7|
 //	                     # table8|table9|fig3|fig5|fig6|fig7|fig8
+//
+// Simulation runs are deterministic and independent per (design,
+// benchmark) key, so stdout is byte-identical for every -par value;
+// parallelism only changes wall-clock time (progress lines go to stderr).
 package main
 
 import (
@@ -25,6 +30,7 @@ func main() {
 	long := flag.Bool("long", false, "run 10x longer timed intervals")
 	quick := flag.Bool("quick", false, "fast sanity pass (200K timed instructions)")
 	par := flag.Int("par", runtime.NumCPU(), "simulation parallelism")
+	verbose := flag.Bool("v", false, "per-run wall-clock progress on stderr")
 	only := flag.String("only", "", "run a single experiment (e.g. fig5, table9)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
@@ -39,6 +45,11 @@ func main() {
 		opt.WarmInstructions = 2_000_000
 	}
 	s := experiments.NewSuite(opt)
+	if *verbose {
+		s.OnRun = func(ev experiments.RunEvent) {
+			fmt.Fprintf(os.Stderr, "  %-10v %-8s %8v\n", ev.Design, ev.Benchmark, ev.Wall.Round(time.Millisecond))
+		}
+	}
 
 	static := map[string]func() string{
 		"table1": func() string { return experiments.Table1().String() },
@@ -67,7 +78,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 			os.Exit(2)
 		}
-		prefetchFor(s, name, *par)
+		if err := prefetchFor(s, name, *par); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		fmt.Println(fn())
 		return
 	}
@@ -80,8 +94,13 @@ func main() {
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "simulating %d benchmarks x 6 designs (%d timed instructions each, par=%d)...\n",
 		len(tlc.Benchmarks()), opt.RunInstructions, *par)
-	s.Prefetch(tlc.Designs(), tlc.Benchmarks(), *par)
-	fmt.Fprintf(os.Stderr, "simulation done in %v\n\n", time.Since(start).Round(time.Second))
+	if err := s.RunAll(tlc.Designs(), tlc.Benchmarks(), *par); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m := s.Metrics()
+	fmt.Fprintf(os.Stderr, "simulation done in %v (%d runs, %v of simulation)\n\n",
+		time.Since(start).Round(time.Second), m.Simulated, m.SimWall.Round(time.Second))
 
 	for _, name := range []string{"table6", "fig5", "fig6", "table9", "fig7", "fig8"} {
 		fmt.Println(simulated[name]())
@@ -89,15 +108,16 @@ func main() {
 }
 
 // prefetchFor warms the cache with just the runs one experiment needs.
-func prefetchFor(s *experiments.Suite, name string, par int) {
+func prefetchFor(s *experiments.Suite, name string, par int) error {
 	switch name {
 	case "table6", "table9", "fig6":
-		s.Prefetch([]tlc.Design{tlc.DesignTLC, tlc.DesignDNUCA}, tlc.Benchmarks(), par)
+		return s.RunAll([]tlc.Design{tlc.DesignTLC, tlc.DesignDNUCA}, tlc.Benchmarks(), par)
 	case "fig5":
-		s.Prefetch([]tlc.Design{tlc.DesignSNUCA2, tlc.DesignDNUCA, tlc.DesignTLC}, tlc.Benchmarks(), par)
+		return s.RunAll([]tlc.Design{tlc.DesignSNUCA2, tlc.DesignDNUCA, tlc.DesignTLC}, tlc.Benchmarks(), par)
 	case "fig7":
-		s.Prefetch(tlc.TLCFamily(), tlc.Benchmarks(), par)
+		return s.RunAll(tlc.TLCFamily(), tlc.Benchmarks(), par)
 	case "fig8":
-		s.Prefetch(append([]tlc.Design{tlc.DesignSNUCA2}, tlc.TLCFamily()...), tlc.Benchmarks(), par)
+		return s.RunAll(append([]tlc.Design{tlc.DesignSNUCA2}, tlc.TLCFamily()...), tlc.Benchmarks(), par)
 	}
+	return nil
 }

@@ -69,12 +69,20 @@ func (c *SetAssoc) Lookup(b mem.Block) bool {
 
 // Touch marks b most-recently-used. It reports whether b was present.
 func (c *SetAssoc) Touch(b mem.Block) bool {
-	idx, ok := c.find(b)
+	_, ok := c.TouchAt(b)
+	return ok
+}
+
+// TouchAt is Touch returning the line index (set*assoc+way) of b so callers
+// can maintain per-line side state (dirty bits) without a map. The index is
+// stable until the line is evicted or removed.
+func (c *SetAssoc) TouchAt(b mem.Block) (idx int, ok bool) {
+	idx, ok = c.find(b)
 	if !ok {
-		return false
+		return 0, false
 	}
 	c.promote(b.SetIndex(c.sets), idx)
-	return true
+	return idx, true
 }
 
 // Access is Lookup+Touch: the normal hit path.
@@ -84,8 +92,16 @@ func (c *SetAssoc) Access(b mem.Block) bool { return c.Touch(b) }
 // full. It returns the evicted block and whether an eviction occurred.
 // Inserting a block that is already present just refreshes its recency.
 func (c *SetAssoc) Insert(b mem.Block) (victim mem.Block, evicted bool) {
-	if c.Touch(b) {
-		return 0, false
+	_, victim, evicted = c.InsertAt(b)
+	return victim, evicted
+}
+
+// InsertAt is Insert returning the line index b now occupies, so callers
+// keeping per-line side state can transfer the victim's state (the evicted
+// block, if any, held the same index).
+func (c *SetAssoc) InsertAt(b mem.Block) (idx int, victim mem.Block, evicted bool) {
+	if idx, ok := c.TouchAt(b); ok {
+		return idx, 0, false
 	}
 	set := b.SetIndex(c.sets)
 	base := set * c.assoc
@@ -110,7 +126,7 @@ func (c *SetAssoc) Insert(b mem.Block) (victim mem.Block, evicted bool) {
 	c.lines[base+way] = b
 	c.valid[base+way] = true
 	c.promote(set, base+way)
-	return victim, evicted
+	return base + way, victim, evicted
 }
 
 // Remove invalidates b (a migration extraction or external eviction) and
@@ -201,17 +217,24 @@ type Line struct {
 // DNUCA controller) use it to resynchronize partial-tag shadows after a
 // migration or fill mutates a set.
 func (c *SetAssoc) LinesIn(set int) []Line {
+	return c.AppendLinesIn(nil, set)
+}
+
+// AppendLinesIn appends the valid lines of a set to dst, in way order, and
+// returns the extended slice. Passing a reused buffer (dst[:0] with capacity
+// >= assoc) keeps the resynchronization path allocation-free — it is the
+// hottest call on the fill/migration path.
+func (c *SetAssoc) AppendLinesIn(dst []Line, set int) []Line {
 	if set < 0 || set >= c.sets {
 		panic(fmt.Sprintf("cache: set %d out of range", set))
 	}
 	base := set * c.assoc
-	var out []Line
 	for w := 0; w < c.assoc; w++ {
 		if c.valid[base+w] {
-			out = append(out, Line{Way: w, Block: c.lines[base+w]})
+			dst = append(dst, Line{Way: w, Block: c.lines[base+w]})
 		}
 	}
-	return out
+	return dst
 }
 
 // checkLRUPermutation verifies the recency ranks of every set form a

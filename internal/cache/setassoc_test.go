@@ -264,3 +264,66 @@ func remove(s []mem.Block, i int) []mem.Block {
 	out = append(out, s[:i]...)
 	return append(out, s[i+1:]...)
 }
+
+func TestTouchAtInsertAtIndices(t *testing.T) {
+	c := NewSetAssoc(4, 2)
+	idx, victim, evicted := c.InsertAt(0) // set 0
+	if evicted || idx != 0 {
+		t.Fatalf("first insert landed at %d (evicted=%v), want way 0", idx, evicted)
+	}
+	idx2, _, _ := c.InsertAt(4) // same set, second way
+	if idx2 != 1 {
+		t.Fatalf("second insert landed at %d, want way 1", idx2)
+	}
+	// Touching block 0 must report its stable index.
+	if got, ok := c.TouchAt(0); !ok || got != idx {
+		t.Fatalf("TouchAt(0) = (%d,%v), want (%d,true)", got, ok, idx)
+	}
+	if _, ok := c.TouchAt(8); ok {
+		t.Fatal("TouchAt reported a hit for an absent block")
+	}
+	// Evicting: block 4 is now LRU; inserting block 8 must reuse its index
+	// and report it as victim.
+	idx3, v, ev := c.InsertAt(8)
+	if !ev || v != 4 || idx3 != idx2 {
+		t.Fatalf("InsertAt(8) = (%d,%v,%v), want victim 4 at index %d", idx3, v, ev, idx2)
+	}
+	if victim != 0 {
+		_ = victim
+	}
+	// Re-inserting a present block refreshes recency and returns its index.
+	idx4, _, ev4 := c.InsertAt(0)
+	if ev4 || idx4 != idx {
+		t.Fatalf("re-insert of present block: index %d evicted=%v, want %d", idx4, ev4, idx)
+	}
+}
+
+func TestAppendLinesInReusesBuffer(t *testing.T) {
+	c := NewSetAssoc(2, 4)
+	for i := 0; i < 4; i++ {
+		c.Insert(mem.Block(i * 2)) // all in set 0
+	}
+	buf := make([]Line, 0, 4)
+	got := c.AppendLinesIn(buf[:0], 0)
+	if len(got) != 4 {
+		t.Fatalf("%d lines, want 4", len(got))
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("AppendLinesIn reallocated despite sufficient capacity")
+	}
+	// Must agree with LinesIn.
+	want := c.LinesIn(0)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AppendLinesIn[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if n := len(c.LinesIn(1)); n != 0 {
+		t.Fatalf("empty set reported %d lines", n)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf = c.AppendLinesIn(buf[:0], 0)
+	}); allocs != 0 {
+		t.Fatalf("AppendLinesIn allocates %.1f per call with a reused buffer", allocs)
+	}
+}

@@ -67,8 +67,11 @@ type Core struct {
 	sys config.System
 	l2  l2.Cache
 
-	l1    *cache.SetAssoc
-	dirty map[mem.Block]bool
+	l1 *cache.SetAssoc
+	// dirty[idx] is the dirty bit of L1 line idx (set*assoc+way): per-way
+	// state alongside the set-associative array, as the hardware keeps it.
+	// A map keyed by block was the hot-loop allocator here.
+	dirty []bool
 
 	// retire ring buffer: retire[i % ROB] is instruction i's retire time.
 	retire []sim.Time
@@ -94,13 +97,17 @@ type Core struct {
 // New builds a core over the given L2.
 func New(sys config.System, l2c l2.Cache) *Core {
 	sets := sys.L1Bytes / mem.BlockBytes / sys.L1Assoc
+	l1 := cache.NewSetAssoc(sets, sys.L1Assoc)
 	return &Core{
 		sys:    sys,
 		l2:     l2c,
-		l1:     cache.NewSetAssoc(sets, sys.L1Assoc),
-		dirty:  make(map[mem.Block]bool),
+		l1:     l1,
+		dirty:  make([]bool, l1.Blocks()),
 		retire: make([]sim.Time, sys.ROBEntries),
 		issued: make([]sim.Time, sys.SchedulerEntries),
+		// MSHR occupancy never exceeds MaxOutstanding entries; a fixed
+		// capacity keeps the tracking allocation-free.
+		outstanding: make([]sim.Time, 0, sys.MaxOutstanding),
 	}
 }
 
@@ -113,29 +120,33 @@ func (c *Core) Warm(s Stream, n uint64) {
 		if !in.IsMem {
 			continue
 		}
-		if c.l1.Access(in.Block) {
+		if idx, hit := c.l1.TouchAt(in.Block); hit {
 			if in.IsStore {
-				c.dirty[in.Block] = true
+				c.dirty[idx] = true
 			}
 			continue
 		}
-		// L1 miss reaches the L2 functionally.
-		victim, evicted := c.l1.Insert(in.Block)
-		if evicted && c.dirty[victim] {
-			delete(c.dirty, victim)
+		// L1 miss reaches the L2 functionally. The incoming block takes
+		// the victim's line, so its dirty bit is read before being
+		// overwritten with the new line's state.
+		idx, victim, evicted := c.l1.InsertAt(in.Block)
+		if evicted && c.dirty[idx] {
 			c.l2.Warm(victim)
 		}
-		if in.IsStore {
-			c.dirty[in.Block] = true
-		} else {
+		c.dirty[idx] = in.IsStore
+		if !in.IsStore {
 			c.l2.Warm(in.Block)
 		}
 	}
 }
 
 // Run times n instructions and returns the result. It may be called after
-// Warm on the same stream.
+// Warm on the same stream. Per-run timing state resets on entry, so
+// repeated Runs on one core (retaining the warmed L1/L2 contents) start
+// from a clean pipeline rather than inheriting the previous run's retire,
+// scheduler, MSHR, and fetch-penalty state.
 func (c *Core) Run(s Stream, n uint64) Result {
+	c.resetTiming()
 	c.res = Result{Instructions: n}
 	rob := uint64(c.sys.ROBEntries)
 	sched := uint64(c.sys.SchedulerEntries)
@@ -184,6 +195,22 @@ func (c *Core) Run(s Stream, n uint64) Result {
 	return c.res
 }
 
+// resetTiming clears the pipeline timing state a run accumulates. Cache
+// contents (L1 array, dirty bits) survive: they are architectural state a
+// back-to-back run legitimately inherits.
+func (c *Core) resetTiming() {
+	for i := range c.retire {
+		c.retire[i] = 0
+	}
+	for i := range c.issued {
+		c.issued[i] = 0
+	}
+	c.outstanding = c.outstanding[:0]
+	c.lastLoad = 0
+	c.prevComplete = 0
+	c.fetchPenalty = 0
+}
+
 // execute computes an instruction's issue (operands ready, scheduler entry
 // freed) and completion times, given the earliest window entry `issue`.
 func (c *Core) execute(issue sim.Time, in Instr) (issueAt, complete sim.Time) {
@@ -210,25 +237,24 @@ func (c *Core) execute(issue sim.Time, in Instr) (issueAt, complete sim.Time) {
 // accessL1 performs the L1 lookup, escalating to the L2 on a miss, and
 // returns the data-ready time (loads) or the update time (stores).
 func (c *Core) accessL1(at sim.Time, b mem.Block, store bool) sim.Time {
-	if c.l1.Access(b) {
+	if idx, hit := c.l1.TouchAt(b); hit {
 		c.res.L1DHits++
 		if store {
-			c.dirty[b] = true
+			c.dirty[idx] = true
 		}
 		return at + c.sys.L1Latency
 	}
 	c.res.L1DMisses++
-	victim, evicted := c.l1.Insert(b)
-	if evicted && c.dirty[victim] {
-		delete(c.dirty, victim)
+	idx, victim, evicted := c.l1.InsertAt(b)
+	if evicted && c.dirty[idx] {
 		// Dirty writeback to the L2 (the TLC "store" path: written
 		// without a tag comparison, fire-and-forget).
 		c.l2.Access(at, mem.Request{Block: victim, Type: mem.Store})
 		c.res.L2Stores++
 	}
+	c.dirty[idx] = store
 	if store {
 		// Write-allocate without fetch: timing-only model.
-		c.dirty[b] = true
 		return at + c.sys.L1Latency
 	}
 	// Load miss: bounded by the outstanding-request limit.

@@ -201,3 +201,80 @@ func (w *warmProbe) Access(at sim.Time, req mem.Request) l2.Outcome {
 }
 func (w *warmProbe) Warm(mem.Block)          { w.warmed++ }
 func (w *warmProbe) Contains(mem.Block) bool { return false }
+
+func TestBackToBackRunsAreIdentical(t *testing.T) {
+	// Regression test for stale per-run timing state: retire/issued ring
+	// buffers, fetchPenalty, prevComplete, lastLoad, and the MSHR set used
+	// to leak from one Run into the next, so a second identical Run on the
+	// same core reported different cycles.
+	core := New(config.DefaultSystem(), &fixedL2{lat: 13})
+	// A small cyclic footprint that fits in the L1: warming it makes both
+	// timed runs all-hit, so identical instruction streams must produce
+	// identical timing once per-run state resets.
+	mk := func() Stream {
+		var ins []Instr
+		for i := 0; i < 64; i++ {
+			ins = append(ins, Instr{IsMem: true, Block: mem.Block(i), Dep: i%8 == 0})
+			ins = append(ins, Instr{Dep: true}, Instr{Mispredict: i%16 == 0})
+		}
+		return &listStream{ins: ins}
+	}
+	core.Warm(mk(), 10_000)
+	first := core.Run(mk(), 50_000)
+	second := core.Run(mk(), 50_000)
+	if first.Cycles != second.Cycles {
+		t.Fatalf("back-to-back identical runs: %d vs %d cycles", first.Cycles, second.Cycles)
+	}
+	if first != second {
+		t.Fatalf("back-to-back identical runs diverged: %+v vs %+v", first, second)
+	}
+}
+
+func TestRunMatchesFreshCore(t *testing.T) {
+	// A second run on a reused core must match a fresh core given the same
+	// architectural (cache) state — timing state is per-run, cache state is
+	// not.
+	stream := func() Stream { return &listStream{ins: []Instr{{IsMem: true, Block: 7}, {Dep: true}}} }
+	reused := New(config.DefaultSystem(), &fixedL2{lat: 13})
+	reused.Warm(stream(), 1_000)
+	reused.Run(stream(), 20_000)
+	again := reused.Run(stream(), 20_000)
+
+	fresh := New(config.DefaultSystem(), &fixedL2{lat: 13})
+	fresh.Warm(stream(), 1_000)
+	want := fresh.Run(stream(), 20_000)
+	if again.Cycles != want.Cycles {
+		t.Fatalf("reused core %d cycles, fresh core %d", again.Cycles, want.Cycles)
+	}
+}
+
+func TestDirtyBitsTrackEvictions(t *testing.T) {
+	// Store then force the set's ways to turn over: exactly the dirty
+	// victims must reach the L2 as stores, and clean reloads must not.
+	probe := &countingL2{}
+	core := New(config.DefaultSystem(), probe)
+	sets := config.DefaultSystem().L1Bytes / mem.BlockBytes / config.DefaultSystem().L1Assoc
+	var ins []Instr
+	// One dirty block, then enough clean loads in the same set to evict it.
+	ins = append(ins, Instr{IsMem: true, IsStore: true, Block: mem.Block(sets)})
+	for i := 2; i < 8; i++ {
+		ins = append(ins, Instr{IsMem: true, Block: mem.Block(i * sets)})
+	}
+	core.Run(&listStream{ins: ins}, uint64(len(ins)))
+	if probe.stores != 1 {
+		t.Fatalf("%d dirty writebacks, want exactly 1", probe.stores)
+	}
+}
+
+type countingL2 struct {
+	stores uint64
+}
+
+func (c *countingL2) Access(at sim.Time, req mem.Request) l2.Outcome {
+	if req.Type == mem.Store {
+		c.stores++
+	}
+	return l2.Outcome{Hit: true, ResolveAt: at + 10, CompleteAt: at + 10}
+}
+func (c *countingL2) Warm(mem.Block)          {}
+func (c *countingL2) Contains(mem.Block) bool { return true }

@@ -9,6 +9,7 @@ package experiments
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"tlc"
 	"tlc/internal/config"
@@ -17,12 +18,61 @@ import (
 	"tlc/internal/wire"
 )
 
-// Suite caches simulation runs for one Options setting.
+// Suite caches simulation runs for one Options setting. It is safe for
+// concurrent use: concurrent requests for the same (design, benchmark) key
+// join one in-flight simulation (per-key singleflight) instead of
+// duplicating it, and requests for distinct keys proceed in parallel.
+//
+// Simulations are deterministic and independent per key, so a Suite driven
+// by RunAll produces bit-identical results to serial Run calls — the
+// property that lets full-table regeneration use every core while emitting
+// byte-identical output.
 type Suite struct {
 	Opt tlc.Options
 
+	// OnRun, when set before the first Run, observes every underlying
+	// simulation as it completes (cache hits do not fire it). RunAll calls
+	// it from its worker goroutines, so the hook must be safe for
+	// concurrent use.
+	OnRun func(RunEvent)
+
 	mu    sync.Mutex
-	cache map[runKey]tlc.Result
+	cache map[runKey]*flight
+	m     Metrics
+}
+
+// RunEvent describes one completed underlying simulation.
+type RunEvent struct {
+	Design    tlc.Design
+	Benchmark string
+	// Wall is the simulation's host wall-clock time.
+	Wall time.Duration
+	// Result is the completed run's result (zero on error).
+	Result tlc.Result
+	// Err is the simulation error, if any.
+	Err error
+}
+
+// Metrics summarizes a suite's cache behavior and simulation cost, the
+// observability counters behind sweep progress reporting.
+type Metrics struct {
+	// Simulated counts underlying simulations actually executed.
+	Simulated uint64
+	// CacheHits counts Run requests served from the cache or by joining
+	// an in-flight simulation of the same key.
+	CacheHits uint64
+	// SimWall is the summed wall-clock time of all underlying
+	// simulations (CPU-seconds of simulation, not elapsed time: parallel
+	// runs overlap).
+	SimWall time.Duration
+}
+
+// flight is one singleflight cache entry: the first requester of a key
+// installs it and simulates; later requesters block on done.
+type flight struct {
+	done chan struct{}
+	res  tlc.Result
+	err  error
 }
 
 type runKey struct {
@@ -32,35 +82,65 @@ type runKey struct {
 
 // NewSuite builds a suite with the given run options.
 func NewSuite(opt tlc.Options) *Suite {
-	return &Suite{Opt: opt, cache: make(map[runKey]tlc.Result)}
+	return &Suite{Opt: opt, cache: make(map[runKey]*flight)}
 }
 
 // Default returns a suite at the standard scaled run length.
 func Default() *Suite { return NewSuite(tlc.DefaultOptions()) }
 
 // Run returns the cached result for (design, benchmark), simulating on
-// first use. Runs for distinct keys may proceed concurrently via RunAll.
+// first use. It panics on an unknown benchmark name — table builders only
+// pass names from tlc.Benchmarks(); use RunErr for error propagation.
 func (s *Suite) Run(d tlc.Design, bench string) tlc.Result {
-	key := runKey{d, bench}
-	s.mu.Lock()
-	if r, ok := s.cache[key]; ok {
-		s.mu.Unlock()
-		return r
-	}
-	s.mu.Unlock()
-	r, err := tlc.Run(d, bench, s.Opt)
+	r, err := s.RunErr(d, bench)
 	if err != nil {
-		panic(err) // benchmarks come from tlc.Benchmarks(); unknown = bug
+		panic(err)
 	}
-	s.mu.Lock()
-	s.cache[key] = r
-	s.mu.Unlock()
 	return r
 }
 
-// Prefetch runs the given design/benchmark grid concurrently, bounded by
-// par workers, so subsequent table builds hit the cache.
-func (s *Suite) Prefetch(designs []tlc.Design, benches []string, par int) {
+// RunErr is Run with error propagation instead of panic.
+func (s *Suite) RunErr(d tlc.Design, bench string) (tlc.Result, error) {
+	key := runKey{d, bench}
+	s.mu.Lock()
+	if f, ok := s.cache[key]; ok {
+		s.m.CacheHits++
+		s.mu.Unlock()
+		<-f.done
+		return f.res, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.cache[key] = f
+	s.mu.Unlock()
+
+	start := time.Now()
+	f.res, f.err = tlc.Run(d, bench, s.Opt)
+	wall := time.Since(start)
+	close(f.done)
+
+	s.mu.Lock()
+	s.m.Simulated++
+	s.m.SimWall += wall
+	s.mu.Unlock()
+	if s.OnRun != nil {
+		s.OnRun(RunEvent{Design: d, Benchmark: bench, Wall: wall, Result: f.res, Err: f.err})
+	}
+	return f.res, f.err
+}
+
+// Metrics reports a snapshot of the suite's cache and timing counters.
+func (s *Suite) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m
+}
+
+// RunAll simulates the full design x benchmark grid, bounded by par
+// workers, and returns the first error encountered (concurrently failing
+// runs report one of them). Results land in the cache, so subsequent table
+// builds are pure lookups; on error the remaining grid is still attempted,
+// keeping the cache state independent of error ordering.
+func (s *Suite) RunAll(designs []tlc.Design, benches []string, par int) error {
 	if par < 1 {
 		par = 1
 	}
@@ -69,14 +149,19 @@ func (s *Suite) Prefetch(designs []tlc.Design, benches []string, par int) {
 		b string
 	}
 	jobs := make(chan job)
+	errs := make(chan error, par)
 	var wg sync.WaitGroup
 	for w := 0; w < par; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var first error
 			for j := range jobs {
-				s.Run(j.d, j.b)
+				if _, err := s.RunErr(j.d, j.b); err != nil && first == nil {
+					first = err
+				}
 			}
+			errs <- first
 		}()
 	}
 	for _, d := range designs {
@@ -86,6 +171,22 @@ func (s *Suite) Prefetch(designs []tlc.Design, benches []string, par int) {
 	}
 	close(jobs)
 	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Prefetch runs the given design/benchmark grid concurrently, bounded by
+// par workers, so subsequent table builds hit the cache. It is RunAll with
+// the legacy panic-on-error contract.
+func (s *Suite) Prefetch(designs []tlc.Design, benches []string, par int) {
+	if err := s.RunAll(designs, benches, par); err != nil {
+		panic(err)
+	}
 }
 
 // Table1 reproduces Table 1 plus the physical quantities the paper's

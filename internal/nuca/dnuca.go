@@ -56,6 +56,8 @@ type DNUCA struct {
 	// ptags[col] shadows the 16 row-banks of one bank set.
 	ptags []*cache.PartialTags
 	sets  int
+	// lineScratch is the reused buffer for partial-tag resyncs.
+	lineScratch []cache.Line
 
 	// Design-specific counters (Table 6).
 	CloseHits  stats64
@@ -144,8 +146,12 @@ func (d *DNUCA) findRow(col int, local mem.Block) int {
 func (d *DNUCA) farRow() int { return d.p.Mesh.Rows - 1 }
 
 // syncPTag resynchronizes the partial-tag shadow of one (column,row) set.
+// It reuses a scratch line buffer: resyncs run on every fill, migration,
+// and promotion, and a fresh slice per call dominated the allocation
+// profile.
 func (d *DNUCA) syncPTag(col, row int, set int) {
-	d.ptags[col].SyncSet(set, row, d.banks[col][row].Array.LinesIn(set))
+	d.lineScratch = d.banks[col][row].Array.AppendLinesIn(d.lineScratch[:0], set)
+	d.ptags[col].SyncSet(set, row, d.lineScratch)
 }
 
 // nominalClose reports the uncontended close-hit latency at the given row.

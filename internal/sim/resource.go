@@ -45,12 +45,16 @@ func (r *Resource) Reserve(at, dur Time) Time {
 	}
 	// Prune spans that end at or before `at`: they cannot conflict with
 	// this or (in the common monotone-time case) any later reservation.
+	// Compact in place rather than re-slicing forward so the backing
+	// array's capacity is retained — the calendar reaches a steady-state
+	// size and stops allocating.
 	i := 0
 	for i < len(r.intervals) && r.intervals[i].end <= at {
 		i++
 	}
 	if i > 0 {
-		r.intervals = r.intervals[i:]
+		n := copy(r.intervals, r.intervals[i:])
+		r.intervals = r.intervals[:n]
 	}
 	// Find the earliest gap of length dur starting at or after `at`.
 	start := at

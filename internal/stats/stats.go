@@ -145,12 +145,19 @@ func (h *Histogram) CountAtMost(v uint64) uint64 {
 }
 
 // Percentile reports the smallest in-range value v such that at least
-// p (0..1) of the samples are <= v. Overflow samples count as larger than
-// every bucket; if the percentile lands in the overflow region the cap-1
-// value is returned.
+// p (0..1) of the samples are <= v. p is clamped to [0,1] (and NaN treated
+// as 0), so an out-of-range p degrades to the min or max percentile rather
+// than silently walking past the distribution into the overflow cap.
+// Overflow samples count as larger than every bucket; if the percentile
+// lands in the overflow region the cap-1 value is returned.
 func (h *Histogram) Percentile(p float64) uint64 {
 	if h.count == 0 {
 		return 0
+	}
+	if !(p > 0) { // also catches NaN
+		p = 0
+	} else if p > 1 {
+		p = 1
 	}
 	target := uint64(math.Ceil(p * float64(h.count)))
 	if target == 0 {
@@ -166,9 +173,10 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	return uint64(len(h.buckets) - 1)
 }
 
-// StdDev reports the in-range sample standard deviation. Overflow samples
-// are folded in using their exact sum but an approximated square (treated as
-// the cap value), which is adequate for the reporting use here.
+// StdDev reports the sample standard deviation. Overflow samples fold in
+// at their exact mean (ovSum/overflow) rather than the cap value, so a few
+// far outliers no longer bias the spread low; only their within-overflow
+// variance is approximated away.
 func (h *Histogram) StdDev() float64 {
 	if h.count < 2 {
 		return 0
@@ -180,7 +188,7 @@ func (h *Histogram) StdDev() float64 {
 		ss += d * d * float64(c)
 	}
 	if h.overflow > 0 {
-		d := float64(len(h.buckets)) - mean
+		d := float64(h.ovSum)/float64(h.overflow) - mean
 		ss += d * d * float64(h.overflow)
 	}
 	return math.Sqrt(ss / float64(h.count))

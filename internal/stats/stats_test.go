@@ -223,3 +223,72 @@ func TestSortedKeys(t *testing.T) {
 		}
 	}
 }
+
+func TestPercentileClampsP(t *testing.T) {
+	// All samples in bucket 0 with a large cap: an unclamped p > 1 used to
+	// walk past the distribution and report cap-1.
+	allZero := NewHistogram(100)
+	for i := 0; i < 10; i++ {
+		allZero.Observe(0)
+	}
+	spread := NewHistogram(100)
+	for v := uint64(1); v <= 10; v++ {
+		spread.Observe(v)
+	}
+	withOverflow := NewHistogram(10)
+	withOverflow.Observe(2)
+	withOverflow.Observe(50) // overflow
+
+	cases := []struct {
+		name string
+		h    *Histogram
+		p    float64
+		want uint64
+	}{
+		{"p>1 all-zero clamps to max", allZero, 2.0, 0},
+		{"p=1 all-zero", allZero, 1.0, 0},
+		{"p<0 clamps to min", spread, -0.5, 1},
+		{"NaN treated as min", spread, math.NaN(), 1},
+		{"p>1 equals p=1", spread, 1.5, 10},
+		{"median unaffected", spread, 0.5, 5},
+		{"p=0 reports min", spread, 0, 1},
+		{"p>1 with overflow still caps", withOverflow, 7.0, 9},
+	}
+	for _, c := range cases {
+		if got := c.h.Percentile(c.p); got != c.want {
+			t.Errorf("%s: Percentile(%v) = %d, want %d", c.name, c.p, got, c.want)
+		}
+	}
+}
+
+func TestStdDevUsesOverflowMean(t *testing.T) {
+	// Two samples: 0 and 1000, cap 10. The exact stddev is 500. Folding
+	// the overflow sample in at the cap value (10) used to report ~5.
+	h := NewHistogram(10)
+	h.Observe(0)
+	h.Observe(1000)
+	if got, want := h.StdDev(), 500.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("StdDev = %v, want %v (overflow folded at its exact mean)", got, want)
+	}
+
+	// Several overflow samples fold in at their mean, not individually:
+	// samples 0, 90, 110 with cap 10 -> overflow mean 100, exact stddev of
+	// {0,100,100} model.
+	h2 := NewHistogram(10)
+	h2.Observe(0)
+	h2.Observe(90)
+	h2.Observe(110)
+	mean := h2.Mean() // 200/3
+	want := math.Sqrt((mean*mean + 2*(100-mean)*(100-mean)) / 3)
+	if got := h2.StdDev(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("StdDev = %v, want %v", got, want)
+	}
+
+	// In-range-only histograms are unaffected.
+	h3 := NewHistogram(100)
+	h3.Observe(4)
+	h3.Observe(6)
+	if got := h3.StdDev(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("in-range StdDev = %v, want 1", got)
+	}
+}

@@ -63,6 +63,12 @@ type Cache struct {
 	pairs     []*pairLinks
 	sets      int
 
+	// bankScratch is the reused buffer banksOf writes into; lineScratch is
+	// the reused buffer for partial-tag resyncs. Both keep the per-access
+	// path allocation-free.
+	bankScratch []int
+	lineScratch []cache.Line
+
 	// noise, when set, injects line errors checked by end-to-end ECC.
 	noise *Noise
 
@@ -94,10 +100,12 @@ func New(d config.Design, memLat sim.Time) *Cache {
 	groupBytes := p.BankBytes * p.BanksPerBlock
 	sets := groupBytes / mem.BlockBytes / 4 // 4-way, Table 3
 	c := &Cache{
-		Stats:  l2.NewStats(),
-		p:      p,
-		memory: l2.FlatMemory{Latency: memLat},
-		sets:   sets,
+		Stats:       l2.NewStats(),
+		p:           p,
+		memory:      l2.FlatMemory{Latency: memLat},
+		sets:        sets,
+		bankScratch: make([]int, 0, p.BanksPerBlock),
+		lineScratch: make([]cache.Line, 0, 4),
 	}
 	for g := 0; g < groups; g++ {
 		c.groups = append(c.groups, cache.NewSetAssoc(sets, 4))
@@ -165,16 +173,20 @@ func (c *Cache) groupOf(b mem.Block) (g int, local mem.Block) {
 // bank pairs, so sequential address streams spread over all sixteen link
 // pairs instead of hammering one; the striped designs already alternate
 // pairs by construction.
+// The returned slice aliases a scratch buffer reused by the next banksOf
+// call; callers iterate it immediately and must not retain it.
 func (c *Cache) banksOf(g int) []int {
 	n := c.p.BanksPerBlock
+	out := c.bankScratch[:0]
 	if n == 1 {
 		pairs := c.p.Pairs()
-		return []int{(g%pairs)*2 + g/pairs}
+		out = append(out, (g%pairs)*2+g/pairs)
+	} else {
+		for i := 0; i < n; i++ {
+			out = append(out, g*n+i)
+		}
 	}
-	out := make([]int, n)
-	for i := range out {
-		out[i] = g*n + i
-	}
+	c.bankScratch = out
 	return out
 }
 
@@ -240,8 +252,14 @@ func (c *Cache) Access(at sim.Time, req mem.Request) l2.Outcome {
 	}
 
 	hit := c.groups[g].Lookup(local)
-	multi := c.p.PartialTagInBank && c.ptags[g].MatchCount(local, 0) > 1
-	partialMatch := hit || (c.p.PartialTagInBank && c.ptags[g].MatchCount(local, 0) > 0)
+	// One partial-tag comparison serves both decisions: the in-bank
+	// comparators report a single match count per lookup.
+	matches := 0
+	if c.p.PartialTagInBank {
+		matches = c.ptags[g].MatchCount(local, 0)
+	}
+	multi := matches > 1
+	partialMatch := hit || matches > 0
 
 	resolve := c.roundTrip(at, g, partialMatch)
 	if multi {
@@ -367,7 +385,8 @@ func (c *Cache) syncPTag(g int, local mem.Block) {
 		return
 	}
 	set := local.SetIndex(c.sets)
-	c.ptags[g].SyncSet(set, 0, c.groups[g].LinesIn(set))
+	c.lineScratch = c.groups[g].AppendLinesIn(c.lineScratch[:0], set)
+	c.ptags[g].SyncSet(set, 0, c.lineScratch)
 }
 
 // Warm implements l2.Cache.
@@ -385,7 +404,9 @@ func (c *Cache) Contains(b mem.Block) bool {
 
 // LinkUtilization reports the average busy fraction across every
 // transmission-line link (both directions, all pairs) over [0,now] — the
-// Figure 7 metric.
+// Figure 7 metric. Like sim.Resource.Utilization it clamps at 1:
+// reservations extending past `now` can push total occupancy beyond the
+// window, but a link cannot be more than fully busy.
 func (c *Cache) LinkUtilization(now sim.Time) float64 {
 	if now == 0 || len(c.pairs) == 0 {
 		return 0
@@ -394,7 +415,11 @@ func (c *Cache) LinkUtilization(now sim.Time) float64 {
 	for _, pr := range c.pairs {
 		busy += pr.down.BusyCycles() + pr.up.BusyCycles()
 	}
-	return float64(busy) / (float64(now) * float64(2*len(c.pairs)))
+	u := float64(busy) / (float64(now) * float64(2*len(c.pairs)))
+	if u > 1 {
+		u = 1
+	}
+	return u
 }
 
 // NetworkEnergyJ reports the dynamic energy dissipated on the transmission

@@ -354,3 +354,65 @@ func TestStatsAccounting(t *testing.T) {
 		t.Fatal("fill count wrong")
 	}
 }
+
+func TestLinkUtilizationClampsAtSaturation(t *testing.T) {
+	// Hammer one design with back-to-back requests all timestamped 0:
+	// reservations extend far past the measurement window, which used to
+	// report utilization > 1.0 (compare sim.Resource.Utilization, which
+	// clamps).
+	c := New(config.TLC, testMemLat)
+	b := mkBlock(0, 1, mem.Log2(c.p.Groups()))
+	c.Warm(b)
+	for i := 0; i < 200; i++ {
+		c.Access(0, mem.Request{Block: b, Type: mem.Load})
+	}
+	u := c.LinkUtilization(1)
+	if u > 1 {
+		t.Fatalf("LinkUtilization = %v at a saturated link, want <= 1", u)
+	}
+	if u != 1 {
+		t.Fatalf("LinkUtilization = %v with reservations past the window, want exactly 1", u)
+	}
+	if got := c.LinkUtilization(0); got != 0 {
+		t.Fatalf("LinkUtilization(0) = %v, want 0", got)
+	}
+}
+
+// TestAccessDoesNotAllocate pins the per-access allocation count of the
+// simulation hot path at zero, for every family member and for the hit,
+// miss/fill, and store paths. A steady-state core loop must not touch the
+// garbage collector.
+func TestAccessDoesNotAllocate(t *testing.T) {
+	for _, d := range config.TLCFamily() {
+		c := New(d, testMemLat)
+		bits := mem.Log2(c.p.Groups())
+		// Warm a working set and run a burst so reusable buffers (link
+		// calendars, scratch slices) reach steady-state capacity.
+		blocks := make([]mem.Block, 256)
+		for i := range blocks {
+			blocks[i] = mkBlock(i%c.p.Groups(), mem.Block(i+1), bits)
+			c.Warm(blocks[i])
+		}
+		at := sim.Time(0)
+		access := func() {
+			for i, b := range blocks {
+				typ := mem.Load
+				if i%4 == 3 {
+					typ = mem.Store
+				}
+				out := c.Access(at, mem.Request{Block: b, Type: typ})
+				if out.CompleteAt > at {
+					at = out.CompleteAt
+				}
+				at++
+			}
+			// A guaranteed miss exercises the fill and writeback paths.
+			miss := mkBlock(0, mem.Block(0x5f5f5f+int(at)), bits)
+			at = c.Access(at, mem.Request{Block: miss, Type: mem.Load}).CompleteAt + 1
+		}
+		access() // warm-up burst, outside the measurement
+		if allocs := testing.AllocsPerRun(50, access); allocs != 0 {
+			t.Errorf("%v: %.2f allocs per access burst, want 0", d, allocs)
+		}
+	}
+}
