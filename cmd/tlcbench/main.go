@@ -7,6 +7,8 @@
 //	tlcbench -full                # all 6 designs
 //	tlcbench -quick               # reduced scale (200 K timed instructions)
 //	tlcbench -par 8 -out bench.json
+//	tlcbench -ckptdir ~/.tlc-ckpt -sample 50  # warm-skip + sampled detail
+//	tlcbench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -15,11 +17,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
 
 	"tlc"
+	"tlc/internal/cliopt"
 	"tlc/internal/experiments"
 	"tlc/internal/stats"
 )
@@ -36,6 +40,11 @@ type record struct {
 	LinkUtilization float64 `json:"link_utilization"`
 	NetworkPowerW   float64 `json:"network_power_w"`
 	WallMS          float64 `json:"wall_ms"`
+
+	// Sampled-mode confidence half-widths (95%); omitted for full runs.
+	CyclesCI      float64 `json:"cycles_ci,omitempty"`
+	MeanLookupCI  float64 `json:"mean_lookup_ci,omitempty"`
+	MissesPer1KCI float64 `json:"misses_per_1k_ci,omitempty"`
 }
 
 // document is the emitted JSON shape.
@@ -43,6 +52,8 @@ type document struct {
 	TimedInstructions uint64             `json:"timed_instructions"`
 	Seed              int64              `json:"seed"`
 	Par               int                `json:"par"`
+	SampleIntervals   int                `json:"sample_intervals,omitempty"`
+	SampleLength      uint64             `json:"sample_length,omitempty"`
 	Runs              []record           `json:"runs"`
 	Headline          map[string]float64 `json:"headline"`
 	SimulatedRuns     uint64             `json:"simulated_runs"`
@@ -56,6 +67,9 @@ func main() {
 	par := flag.Int("par", runtime.NumCPU(), "simulation parallelism")
 	seed := flag.Int64("seed", 1, "workload seed")
 	out := flag.String("out", "", "output file (default stdout)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a post-sweep heap profile to this file")
+	accel := cliopt.Register()
 	flag.Parse()
 
 	opt := tlc.DefaultOptions()
@@ -63,6 +77,21 @@ func main() {
 	if *quick {
 		opt.RunInstructions = 200_000
 		opt.WarmInstructions = 2_000_000
+	}
+	accel.Apply(&opt)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	designs := []tlc.Design{tlc.DesignSNUCA2, tlc.DesignDNUCA, tlc.DesignTLC}
 	if *full {
@@ -90,6 +119,8 @@ func main() {
 		TimedInstructions: opt.RunInstructions,
 		Seed:              opt.Seed,
 		Par:               *par,
+		SampleIntervals:   opt.SampleIntervals,
+		SampleLength:      opt.SampleLength,
 		Headline:          map[string]float64{},
 		ElapsedMS:         float64(elapsed.Microseconds()) / 1000,
 	}
@@ -104,7 +135,7 @@ func main() {
 	for _, d := range designs {
 		for _, b := range benches {
 			r := s.Run(d, b)
-			doc.Runs = append(doc.Runs, record{
+			rec := record{
 				Design:          d.String(),
 				Benchmark:       b,
 				Cycles:          r.Cycles,
@@ -115,7 +146,18 @@ func main() {
 				LinkUtilization: r.LinkUtilization,
 				NetworkPowerW:   r.NetworkPowerW,
 				WallMS:          float64(wall[d.String()+"/"+b].Microseconds()) / 1000,
-			})
+			}
+			if s.Sampled() {
+				sr, err := s.SampledErr(d, b)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				rec.CyclesCI = sr.CyclesCI
+				rec.MeanLookupCI = sr.MeanLookupCI
+				rec.MissesPer1KCI = sr.MissesPer1KCI
+			}
+			doc.Runs = append(doc.Runs, rec)
 			base := float64(s.Run(tlc.DesignSNUCA2, b).Cycles)
 			norm[d].Append(b, float64(r.Cycles)/base)
 		}
@@ -152,6 +194,20 @@ func main() {
 	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // report retained allocations, not transient garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -5,6 +5,8 @@
 //	tlcsim -design DNUCA -bench mcf -run 5000000
 //	tlcsim -design all -bench all -par 8        # full grid, all cores
 //	tlcsim -design TLC,DNUCA -bench gcc -json   # machine-readable results
+//	tlcsim -bench gcc -ckptdir ~/.tlc-ckpt      # reuse warm state on disk
+//	tlcsim -bench gcc -sample 50 -samplelen 2000  # sampled execution, ± CI
 //	tlcsim -list
 //
 // Grid runs execute in parallel (deduplicated per key by the experiment
@@ -22,6 +24,7 @@ import (
 	"time"
 
 	"tlc"
+	"tlc/internal/cliopt"
 	"tlc/internal/experiments"
 )
 
@@ -40,6 +43,14 @@ type runJSON struct {
 	BanksPerRequest float64 `json:"banks_per_request"`
 	LinkUtilization float64 `json:"link_utilization"`
 	NetworkPowerW   float64 `json:"network_power_w"`
+
+	// Sampled-mode extras: 95% confidence half-widths and the sampling
+	// plan. Zero (omitted) for full detailed runs.
+	CyclesCI             float64 `json:"cycles_ci,omitempty"`
+	MeanLookupCI         float64 `json:"mean_lookup_ci,omitempty"`
+	MissesPer1KCI        float64 `json:"misses_per_1k_ci,omitempty"`
+	SampleIntervals      int     `json:"sample_intervals,omitempty"`
+	DetailedInstructions uint64  `json:"detailed_instructions,omitempty"`
 }
 
 func toJSON(r tlc.Result) runJSON {
@@ -60,6 +71,16 @@ func toJSON(r tlc.Result) runJSON {
 	}
 }
 
+func toJSONSampled(sr tlc.SampledResult) runJSON {
+	j := toJSON(sr.Result)
+	j.CyclesCI = sr.CyclesCI
+	j.MeanLookupCI = sr.MeanLookupCI
+	j.MissesPer1KCI = sr.MissesPer1KCI
+	j.SampleIntervals = sr.Intervals
+	j.DetailedInstructions = sr.DetailedInstructions
+	return j
+}
+
 func main() {
 	design := flag.String("design", "TLC", "cache design(s): comma-separated or 'all'")
 	bench := flag.String("bench", "gcc", "benchmark name(s): comma-separated or 'all' (see -list)")
@@ -69,6 +90,7 @@ func main() {
 	par := flag.Int("par", runtime.NumCPU(), "simulation parallelism for grid runs")
 	jsonF := flag.Bool("json", false, "emit results as JSON")
 	list := flag.Bool("list", false, "list designs and benchmarks")
+	accel := cliopt.Register()
 	flag.Parse()
 
 	if *list {
@@ -94,6 +116,7 @@ func main() {
 		opt.RunInstructions = *runN
 	}
 	opt.WarmInstructions = *warmN
+	accel.Apply(&opt)
 
 	s := experiments.NewSuite(opt)
 	start := time.Now()
@@ -108,6 +131,15 @@ func main() {
 		out := make([]runJSON, 0, len(designs)*len(benches))
 		for _, d := range designs {
 			for _, b := range benches {
+				if s.Sampled() {
+					sr, err := s.SampledErr(d, b)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(2)
+					}
+					out = append(out, toJSONSampled(sr))
+					continue
+				}
 				out = append(out, toJSON(s.Run(d, b)))
 			}
 		}
@@ -118,23 +150,43 @@ func main() {
 			os.Exit(1)
 		}
 	case len(designs) == 1 && len(benches) == 1:
-		printFull(s.Run(designs[0], benches[0]), elapsed)
+		var sres *tlc.SampledResult
+		if s.Sampled() {
+			sr, err := s.SampledErr(designs[0], benches[0])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			sres = &sr
+		}
+		printFull(s.Run(designs[0], benches[0]), sres, elapsed)
 	default:
 		printGrid(s, designs, benches, elapsed)
 	}
 }
 
-// printFull is the single-run statistics block.
-func printFull(res tlc.Result, elapsed time.Duration) {
+// printFull is the single-run statistics block. sres, when non-nil, adds the
+// sampled-mode confidence intervals and plan.
+func printFull(res tlc.Result, sres *tlc.SampledResult, elapsed time.Duration) {
 	fmt.Printf("design            %v\n", res.Design)
 	fmt.Printf("benchmark         %s\n", res.Benchmark)
 	fmt.Printf("instructions      %d\n", res.Instructions)
-	fmt.Printf("cycles            %d\n", res.Cycles)
+	if sres != nil {
+		fmt.Printf("sampled           %d×%d intervals (%d detailed)\n",
+			sres.Intervals, sres.DetailedInstructions/uint64(sres.Intervals), sres.DetailedInstructions)
+		fmt.Printf("cycles            %d ± %.0f (95%% CI)\n", res.Cycles, sres.CyclesCI)
+	} else {
+		fmt.Printf("cycles            %d\n", res.Cycles)
+	}
 	fmt.Printf("IPC               %.3f\n", res.IPC)
 	fmt.Printf("L2 loads          %d\n", res.L2Loads)
 	fmt.Printf("L2 stores         %d\n", res.L2Stores)
 	fmt.Printf("misses/1K instr   %.3f\n", res.MissesPer1K)
-	fmt.Printf("mean lookup       %.2f cycles\n", res.MeanLookup)
+	if sres != nil {
+		fmt.Printf("mean lookup       %.2f ± %.2f cycles\n", res.MeanLookup, sres.MeanLookupCI)
+	} else {
+		fmt.Printf("mean lookup       %.2f cycles\n", res.MeanLookup)
+	}
 	fmt.Printf("predictable       %.1f%%\n", res.PredictablePct)
 	fmt.Printf("banks/request     %.2f\n", res.BanksPerRequest)
 	fmt.Printf("network power     %.1f mW\n", res.NetworkPowerW*1000)
@@ -148,13 +200,29 @@ func printFull(res tlc.Result, elapsed time.Duration) {
 	fmt.Printf("(simulated in %v)\n", elapsed)
 }
 
-// printGrid is the compact multi-run table.
+// printGrid is the compact multi-run table. Sampled suites carry an extra
+// ±cycles column (the 95% CI half-width of the cycle estimate).
 func printGrid(s *experiments.Suite, designs []tlc.Design, benches []string, elapsed time.Duration) {
-	fmt.Printf("%-12s %-8s %12s %8s %10s %10s\n",
-		"design", "bench", "cycles", "IPC", "lookup", "miss/1K")
+	if s.Sampled() {
+		fmt.Printf("%-12s %-8s %12s %10s %8s %10s %10s\n",
+			"design", "bench", "cycles", "±cycles", "IPC", "lookup", "miss/1K")
+	} else {
+		fmt.Printf("%-12s %-8s %12s %8s %10s %10s\n",
+			"design", "bench", "cycles", "IPC", "lookup", "miss/1K")
+	}
 	for _, d := range designs {
 		for _, b := range benches {
 			r := s.Run(d, b)
+			if s.Sampled() {
+				sr, err := s.SampledErr(d, b)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(2)
+				}
+				fmt.Printf("%-12v %-8s %12d %10.0f %8.3f %10.2f %10.3f\n",
+					d, b, r.Cycles, sr.CyclesCI, r.IPC, r.MeanLookup, r.MissesPer1K)
+				continue
+			}
 			fmt.Printf("%-12v %-8s %12d %8.3f %10.2f %10.3f\n",
 				d, b, r.Cycles, r.IPC, r.MeanLookup, r.MissesPer1K)
 		}

@@ -7,6 +7,12 @@
 //	tlcsweep -geometry      # width x length signal-integrity acceptance
 //	tlcsweep -bench mcf     # benchmark for the simulation sweeps
 //	tlcsweep -par 8         # simulation parallelism
+//	tlcsweep -ckptdir DIR   # persist warm-state checkpoints across runs
+//
+// All simulation sweeps share one warm-state checkpoint store: the memory
+// sweep's flat and banked-DRAM runs warm identically (warm-up is functional),
+// and the seed sweep shares one warm prefix across its seeds, so each
+// (design, benchmark) pair warms at most once per invocation.
 //
 // Simulation runs are deterministic and independent, so output is
 // byte-identical for every -par value: workers fill result slots keyed by
@@ -21,6 +27,7 @@ import (
 	"sync"
 
 	"tlc"
+	"tlc/internal/cliopt"
 	"tlc/internal/experiments"
 	"tlc/internal/report"
 	"tlc/internal/tline"
@@ -28,12 +35,26 @@ import (
 
 var par = flag.Int("par", runtime.NumCPU(), "simulation parallelism")
 
+// sweepOptions is the base configuration every simulation sweep starts
+// from: the accelerator flags applied plus the invocation-wide checkpoint
+// store, so warm state is shared wherever the keys allow.
+var sweepOptions func() tlc.Options
+
 func main() {
 	bench := flag.String("bench", "mcf", "benchmark for simulation sweeps")
 	memoryF := flag.Bool("memory", false, "flat vs banked-DRAM memory sweep")
 	seedsF := flag.Bool("seeds", false, "seed robustness sweep")
 	geometryF := flag.Bool("geometry", false, "transmission-line geometry acceptance")
+	accel := cliopt.Register()
 	flag.Parse()
+
+	store := tlc.NewCheckpointStore(0, accel.CkptDir)
+	sweepOptions = func() tlc.Options {
+		opt := tlc.DefaultOptions()
+		accel.Apply(&opt)
+		opt.Checkpoints = store
+		return opt
+	}
 
 	any := false
 	if *memoryF {
@@ -60,7 +81,7 @@ func memorySweep(bench string) {
 	// One suite per memory model: a suite keys its run cache by (design,
 	// benchmark), so distinct Options need distinct suites. RunAll fills
 	// both grids in parallel; the table then renders from cache hits.
-	flatOpt := tlc.DefaultOptions()
+	flatOpt := sweepOptions()
 	drOpt := flatOpt
 	drOpt.UseDRAM = true
 	flat := experiments.NewSuite(flatOpt)
@@ -113,7 +134,7 @@ func seedSweep(bench string) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			cyc, lookup, _, err := tlc.RunSeeds(d, bench, tlc.DefaultOptions(), seeds)
+			cyc, lookup, _, err := tlc.RunSeeds(d, bench, sweepOptions(), seeds)
 			rows[i] = row{cyc: cyc, lookup: lookup, err: err}
 		}(i, d)
 	}

@@ -8,6 +8,8 @@
 //	tlctables -v         # per-run wall-clock progress on stderr
 //	tlctables -only fig5 # one experiment: table1|table2|table6|table7|
 //	                     # table8|table9|fig3|fig5|fig6|fig7|fig8
+//	tlctables -ckptdir ~/.tlc-ckpt   # reuse warm state across invocations
+//	tlctables -sample 50             # sampled runs; figures gain ± columns
 //
 // Simulation runs are deterministic and independent per (design,
 // benchmark) key, so stdout is byte-identical for every -par value;
@@ -23,6 +25,7 @@ import (
 	"time"
 
 	"tlc"
+	"tlc/internal/cliopt"
 	"tlc/internal/experiments"
 )
 
@@ -33,6 +36,7 @@ func main() {
 	verbose := flag.Bool("v", false, "per-run wall-clock progress on stderr")
 	only := flag.String("only", "", "run a single experiment (e.g. fig5, table9)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	accel := cliopt.Register()
 	flag.Parse()
 
 	opt := tlc.DefaultOptions()
@@ -44,6 +48,7 @@ func main() {
 		opt.RunInstructions = 200_000
 		opt.WarmInstructions = 2_000_000
 	}
+	accel.Apply(&opt)
 	s := experiments.NewSuite(opt)
 	if *verbose {
 		s.OnRun = func(ev experiments.RunEvent) {

@@ -1,0 +1,99 @@
+package cache
+
+import (
+	"fmt"
+
+	"tlc/internal/mem"
+)
+
+// SetAssocState is a deep copy of a SetAssoc's contents: lines, valid bits,
+// and LRU ranks, in the array's own (set*assoc+way) layout. Geometry is
+// carried so Restore can reject a state captured from a differently shaped
+// array. Fields are exported for gob encoding by the on-disk checkpoint
+// store; the block type is an integer, so the copy is bit-exact.
+type SetAssocState struct {
+	Sets  int
+	Assoc int
+	Lines []mem.Block
+	Valid []bool
+	LRU   []uint8
+}
+
+// Snapshot captures the array's complete replacement state. The returned
+// state shares no memory with the array: mutating the array afterwards does
+// not change the snapshot, so snapshots can be stored and restored later.
+func (c *SetAssoc) Snapshot() SetAssocState {
+	st := SetAssocState{
+		Sets:  c.sets,
+		Assoc: c.assoc,
+		Lines: make([]mem.Block, len(c.lines)),
+		Valid: make([]bool, len(c.valid)),
+		LRU:   make([]uint8, len(c.lru)),
+	}
+	copy(st.Lines, c.lines)
+	copy(st.Valid, c.valid)
+	copy(st.LRU, c.lru)
+	return st
+}
+
+// Restore overwrites the array's contents with a previously captured state.
+// The array keeps no reference to the state's slices, so the same state can
+// be restored into many arrays. It returns an error if the state's geometry
+// does not match the array's (a checkpoint from a different configuration).
+func (c *SetAssoc) Restore(st SetAssocState) error {
+	if st.Sets != c.sets || st.Assoc != c.assoc {
+		return fmt.Errorf("cache: restoring %dx%d state into %dx%d array",
+			st.Sets, st.Assoc, c.sets, c.assoc)
+	}
+	n := c.sets * c.assoc
+	if len(st.Lines) != n || len(st.Valid) != n || len(st.LRU) != n {
+		return fmt.Errorf("cache: state arrays sized %d/%d/%d, want %d",
+			len(st.Lines), len(st.Valid), len(st.LRU), n)
+	}
+	copy(c.lines, st.Lines)
+	copy(c.valid, st.Valid)
+	copy(c.lru, st.LRU)
+	return nil
+}
+
+// PartialTagsState is a deep copy of a PartialTags shadow structure in its
+// own ((set*banks+bank)*assoc+way) layout.
+type PartialTagsState struct {
+	Sets  int
+	Banks int
+	Assoc int
+	Tags  []uint8
+	Valid []bool
+}
+
+// Snapshot captures the shadow's complete contents; the result shares no
+// memory with the structure.
+func (p *PartialTags) Snapshot() PartialTagsState {
+	st := PartialTagsState{
+		Sets:  p.sets,
+		Banks: p.banks,
+		Assoc: p.assoc,
+		Tags:  make([]uint8, len(p.tags)),
+		Valid: make([]bool, len(p.valid)),
+	}
+	copy(st.Tags, p.tags)
+	copy(st.Valid, p.valid)
+	return st
+}
+
+// Restore overwrites the shadow with a previously captured state, rejecting
+// geometry mismatches.
+func (p *PartialTags) Restore(st PartialTagsState) error {
+	if st.Sets != p.sets || st.Banks != p.banks || st.Assoc != p.assoc {
+		return fmt.Errorf("cache: restoring %d/%d/%d partial-tag state into %d/%d/%d structure",
+			st.Sets, st.Banks, st.Assoc, p.sets, p.banks, p.assoc)
+	}
+	n := p.sets * p.banks * p.assoc
+	if len(st.Tags) != n || len(st.Valid) != n {
+		return fmt.Errorf("cache: partial-tag state arrays sized %d/%d, want %d",
+			len(st.Tags), len(st.Valid), n)
+	}
+	copy(p.tags, st.Tags)
+	copy(p.valid, st.Valid)
+	return nil
+}

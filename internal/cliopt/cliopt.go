@@ -1,0 +1,47 @@
+// Package cliopt registers the simulation-accelerator flags shared by the
+// run-capable commands (tlcsim, tlcbench, tlcsweep, tlctables): warm-state
+// checkpointing and SMARTS-style sampled execution.
+package cliopt
+
+import (
+	"flag"
+
+	"tlc"
+)
+
+// Flags holds the shared accelerator flag values after parsing.
+type Flags struct {
+	// CkptDir persists warm-state checkpoints on disk when non-empty.
+	CkptDir string
+	// Sample is the number of detailed intervals; 0 keeps full detailed
+	// simulation.
+	Sample int
+	// Length is the instructions per detailed interval.
+	Length uint64
+}
+
+// Register installs -ckptdir, -sample, and -samplelen on the default flag
+// set. Call before flag.Parse.
+func Register() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.CkptDir, "ckptdir", "",
+		"persist warm-state checkpoints in this directory (reused across invocations)")
+	flag.IntVar(&f.Sample, "sample", 0,
+		"sampled mode: detailed intervals per run (0 = full detailed simulation)")
+	flag.Uint64Var(&f.Length, "samplelen", 2000,
+		"instructions per detailed interval in sampled mode")
+	return f
+}
+
+// Apply wires the parsed flags into opt: a -ckptdir attaches a disk-backed
+// checkpoint store (runs sharing a warm prefix skip warm-up, bit-identically),
+// and -sample/-samplelen select the sampled interval plan.
+func (f *Flags) Apply(opt *tlc.Options) {
+	if f.CkptDir != "" {
+		opt.Checkpoints = tlc.NewCheckpointStore(0, f.CkptDir)
+	}
+	if f.Sample > 0 {
+		opt.SampleIntervals = f.Sample
+		opt.SampleLength = f.Length
+	}
+}

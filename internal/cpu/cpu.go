@@ -12,6 +12,8 @@
 package cpu
 
 import (
+	"fmt"
+
 	"tlc/internal/cache"
 	"tlc/internal/config"
 	"tlc/internal/l2"
@@ -91,6 +93,15 @@ type Core struct {
 	// fetchPenalty accumulates branch-misprediction pipeline refills.
 	fetchPenalty sim.Time
 
+	// Timing-epoch state: RunFrom starts a new epoch; Resume continues the
+	// current one. epochBase is the clock the epoch's fetch frontier counts
+	// from, epochInstrs the detailed instructions executed so far in the
+	// epoch (the ring-buffer index continues across Resume calls), and
+	// lastRetire the retire time of the epoch's most recent instruction.
+	epochBase   sim.Time
+	epochInstrs uint64
+	lastRetire  sim.Time
+
 	res Result
 }
 
@@ -145,18 +156,46 @@ func (c *Core) Warm(s Stream, n uint64) {
 // repeated Runs on one core (retaining the warmed L1/L2 contents) start
 // from a clean pipeline rather than inheriting the previous run's retire,
 // scheduler, MSHR, and fetch-penalty state.
-func (c *Core) Run(s Stream, n uint64) Result {
+func (c *Core) Run(s Stream, n uint64) Result { return c.RunFrom(s, n, 0) }
+
+// RunFrom is Run with the pipeline's clock starting at cycle base instead
+// of zero. Sampled execution uses it to keep simulated time monotone across
+// detailed intervals: the L2 designs require non-decreasing access times
+// (their port and link Resources book absolute spans), so a later interval
+// must continue past an earlier one's finish rather than restart at zero.
+// The returned Result's Cycles is the absolute finish time; the interval's
+// own length is Cycles - base.
+func (c *Core) RunFrom(s Stream, n uint64, base sim.Time) Result {
 	c.resetTiming()
+	c.epochBase = base
+	c.lastRetire = base
+	return c.run(s, n)
+}
+
+// Resume continues detailed timing where the previous RunFrom or Resume on
+// this core left off: the retire and scheduler rings, MSHR occupancy, fetch
+// frontier, and dependence state all carry across, so RunFrom(s, m, base)
+// followed by Resume(s, n) is cycle-identical to a single RunFrom of m+n
+// instructions. Sampled execution interleaves functional Warm stretches
+// (which occupy no simulated time) with Resume intervals, so interval
+// boundaries introduce no pipeline-restart transient into the measured CPI.
+func (c *Core) Resume(s Stream, n uint64) Result { return c.run(s, n) }
+
+// run times n instructions within the current timing epoch.
+func (c *Core) run(s Stream, n uint64) Result {
 	c.res = Result{Instructions: n}
 	rob := uint64(c.sys.ROBEntries)
 	sched := uint64(c.sys.SchedulerEntries)
 	width := sim.Time(c.sys.FetchWidth)
-	var last sim.Time
-	for i := uint64(0); i < n; i++ {
+	base := c.epochBase
+	start := c.epochInstrs
+	last := c.lastRetire
+	for j := uint64(0); j < n; j++ {
+		i := start + j
 		in := s.Next()
 		// Fetch bandwidth: FetchWidth instructions per cycle, pushed back
 		// by accumulated misprediction refills.
-		issue := sim.Time(i)/width + c.fetchPenalty
+		issue := base + sim.Time(i)/width + c.fetchPenalty
 		// ROB availability: instruction i needs instruction i-ROB retired.
 		if i >= rob {
 			if t := c.retire[i%rob]; t > issue {
@@ -178,7 +217,7 @@ func (c *Core) Run(s Stream, n uint64) Result {
 		// In-order retirement at fetch width.
 		slot := c.retire[(i+rob-1)%rob] // previous instruction's retire
 		if i == 0 {
-			slot = 0
+			slot = base
 		}
 		if complete > slot {
 			slot = complete
@@ -191,6 +230,8 @@ func (c *Core) Run(s Stream, n uint64) Result {
 		c.retire[i%rob] = slot
 		last = slot
 	}
+	c.epochInstrs = start + n
+	c.lastRetire = last
 	c.res.Cycles = last
 	return c.res
 }
@@ -209,6 +250,44 @@ func (c *Core) resetTiming() {
 	c.lastLoad = 0
 	c.prevComplete = 0
 	c.fetchPenalty = 0
+	c.epochBase = 0
+	c.epochInstrs = 0
+	c.lastRetire = 0
+}
+
+// State is the core's architectural cache state: the L1 array plus its
+// per-line dirty bits. Pipeline timing state is deliberately absent — Run
+// resets it on entry, so a warm core is fully described by its caches.
+// Fields are exported for gob encoding by the on-disk checkpoint store.
+type State struct {
+	L1    cache.SetAssocState
+	Dirty []bool
+}
+
+// Snapshot captures the core's post-warm state. The result shares no memory
+// with the core.
+func (c *Core) Snapshot() State {
+	st := State{
+		L1:    c.l1.Snapshot(),
+		Dirty: make([]bool, len(c.dirty)),
+	}
+	copy(st.Dirty, c.dirty)
+	return st
+}
+
+// Restore overwrites the core's L1 contents and dirty bits with a captured
+// state and clears pipeline timing, exactly the condition a fresh core is
+// in after Warm. It rejects states from a differently configured core.
+func (c *Core) Restore(st State) error {
+	if len(st.Dirty) != len(c.dirty) {
+		return fmt.Errorf("cpu: restoring %d dirty bits into a %d-line L1", len(st.Dirty), len(c.dirty))
+	}
+	if err := c.l1.Restore(st.L1); err != nil {
+		return err
+	}
+	copy(c.dirty, st.Dirty)
+	c.resetTiming()
+	return nil
 }
 
 // execute computes an instruction's issue (operands ready, scheduler entry

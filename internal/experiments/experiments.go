@@ -72,6 +72,9 @@ type Metrics struct {
 type flight struct {
 	done chan struct{}
 	res  tlc.Result
+	// sres carries the confidence intervals when the suite runs sampled;
+	// sres.Result == res in that mode.
+	sres tlc.SampledResult
 	err  error
 }
 
@@ -99,22 +102,62 @@ func (s *Suite) Run(d tlc.Design, bench string) tlc.Result {
 	return r
 }
 
+// Sampled reports whether the suite runs in sampled mode (confidence
+// intervals available via SampledErr, error columns added to figures).
+func (s *Suite) Sampled() bool { return s.Opt.SampleIntervals > 0 }
+
+// SampledErr returns the sampled result for (design, benchmark), including
+// its confidence intervals. The suite must be in sampled mode.
+func (s *Suite) SampledErr(d tlc.Design, bench string) (tlc.SampledResult, error) {
+	if !s.Sampled() {
+		return tlc.SampledResult{}, fmt.Errorf("experiments: suite is not in sampled mode")
+	}
+	f, err := s.run(d, bench)
+	if err != nil {
+		return tlc.SampledResult{}, err
+	}
+	return f.sres, nil
+}
+
+// sampled is SampledErr with the Run panic contract, for figure builders.
+func (s *Suite) sampled(d tlc.Design, bench string) tlc.SampledResult {
+	r, err := s.SampledErr(d, bench)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
 // RunErr is Run with error propagation instead of panic.
 func (s *Suite) RunErr(d tlc.Design, bench string) (tlc.Result, error) {
+	f, err := s.run(d, bench)
+	if err != nil {
+		return tlc.Result{}, err
+	}
+	return f.res, nil
+}
+
+// run is the singleflight core shared by RunErr and SampledErr.
+func (s *Suite) run(d tlc.Design, bench string) (*flight, error) {
 	key := runKey{d, bench}
 	s.mu.Lock()
 	if f, ok := s.cache[key]; ok {
 		s.m.CacheHits++
 		s.mu.Unlock()
 		<-f.done
-		return f.res, f.err
+		return f, f.err
 	}
 	f := &flight{done: make(chan struct{})}
 	s.cache[key] = f
 	s.mu.Unlock()
 
 	start := time.Now()
-	f.res, f.err = tlc.Run(d, bench, s.Opt)
+	if s.Sampled() {
+		f.sres, f.err = tlc.RunSampled(d, bench, s.Opt)
+		f.res = f.sres.Result
+	} else {
+		f.res, f.err = tlc.Run(d, bench, s.Opt)
+	}
 	wall := time.Since(start)
 	close(f.done)
 
@@ -125,7 +168,7 @@ func (s *Suite) RunErr(d tlc.Design, bench string) (tlc.Result, error) {
 	if s.OnRun != nil {
 		s.OnRun(RunEvent{Design: d, Benchmark: bench, Wall: wall, Result: f.res, Err: f.err})
 	}
-	return f.res, f.err
+	return f, f.err
 }
 
 // Metrics reports a snapshot of the suite's cache and timing counters.
@@ -295,7 +338,11 @@ func Figure3() *report.Table {
 }
 
 // execSeries builds normalized execution time for the given designs,
-// normalized to SNUCA2 (Figures 5 and 8).
+// normalized to SNUCA2 (Figures 5 and 8). In sampled mode each design gets
+// a companion "± " series: the 95% confidence half-width of its normalized
+// value, from per-interval CPI variation (the baseline's own uncertainty is
+// not propagated — the columns bound each design's estimate, not the
+// ratio's joint distribution).
 func (s *Suite) execSeries(designs []tlc.Design) *report.Figure {
 	benches := tlc.Benchmarks()
 	f := report.NewFigure("", benches)
@@ -305,10 +352,20 @@ func (s *Suite) execSeries(designs []tlc.Design) *report.Figure {
 	}
 	for _, d := range designs {
 		vals := make([]float64, len(benches))
+		errs := make([]float64, len(benches))
 		for i, b := range benches {
-			vals[i] = float64(s.Run(d, b).Cycles) / base[i]
+			if s.Sampled() {
+				r := s.sampled(d, b)
+				vals[i] = float64(r.Cycles) / base[i]
+				errs[i] = r.CyclesCI / base[i]
+			} else {
+				vals[i] = float64(s.Run(d, b).Cycles) / base[i]
+			}
 		}
 		f.AddSeries(d.String(), vals)
+		if s.Sampled() {
+			f.AddSeries("± "+d.String(), errs)
+		}
 	}
 	return f
 }
@@ -326,10 +383,20 @@ func (s *Suite) Figure6() *report.Figure {
 	f := report.NewFigure("Figure 6: Mean Cache Lookup Latency (cycles)", benches)
 	for _, d := range []tlc.Design{tlc.DesignDNUCA, tlc.DesignTLC} {
 		vals := make([]float64, len(benches))
+		errs := make([]float64, len(benches))
 		for i, b := range benches {
-			vals[i] = s.Run(d, b).MeanLookup
+			if s.Sampled() {
+				r := s.sampled(d, b)
+				vals[i] = r.MeanLookup
+				errs[i] = r.MeanLookupCI
+			} else {
+				vals[i] = s.Run(d, b).MeanLookup
+			}
 		}
 		f.AddSeries(d.String(), vals)
+		if s.Sampled() {
+			f.AddSeries("± "+d.String(), errs)
+		}
 	}
 	return f
 }

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tlc"
+)
+
+// sampledSuite runs small sampled simulations with a shared checkpoint
+// store: the shape tests exercise the full sampled plumbing cheaply.
+func sampledSuite() *Suite {
+	return NewSuite(tlc.Options{
+		WarmInstructions: 200_000,
+		RunInstructions:  100_000,
+		Seed:             1,
+		SampleIntervals:  4,
+		SampleLength:     5_000,
+		Checkpoints:      tlc.NewCheckpointStore(0, ""),
+	})
+}
+
+func TestSampledModeDetection(t *testing.T) {
+	if tinySuite().Sampled() {
+		t.Fatal("full-run suite reports sampled mode")
+	}
+	s := sampledSuite()
+	if !s.Sampled() {
+		t.Fatal("sampled suite does not report sampled mode")
+	}
+	if _, err := tinySuite().SampledErr(tlc.DesignTLC, "gcc"); err == nil {
+		t.Fatal("SampledErr on a full-run suite did not error")
+	}
+}
+
+func TestSampledRunsCarryIntervals(t *testing.T) {
+	s := sampledSuite()
+	sr, err := s.SampledErr(tlc.DesignTLC, "gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Intervals != 4 || sr.DetailedInstructions != 20_000 {
+		t.Fatalf("sampled shape %d×(%d total), want 4 intervals / 20000 detailed",
+			sr.Intervals, sr.DetailedInstructions)
+	}
+	if sr.Cycles == 0 || sr.IPC <= 0 {
+		t.Fatalf("sampled estimate empty: %+v", sr.Result)
+	}
+	if sr.CyclesCI < 0 || math.IsNaN(sr.CyclesCI) {
+		t.Fatalf("bad cycles CI %v", sr.CyclesCI)
+	}
+	// RunErr must serve the same underlying run (one simulation, shared).
+	r, err := s.RunErr(tlc.DesignTLC, "gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != sr.Result {
+		t.Fatal("RunErr and SampledErr disagree on the same key")
+	}
+	if m := s.Metrics(); m.Simulated != 1 || m.CacheHits != 1 {
+		t.Fatalf("metrics %+v, want 1 simulated + 1 cache hit", m)
+	}
+}
+
+func TestSampledFiguresCarryErrorColumns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated experiments are slow")
+	}
+	s := sampledSuite()
+	f5 := s.Figure5()
+	// Two designs, each with a ± companion series.
+	if len(f5.Series) != 4 {
+		t.Fatalf("sampled Figure 5 has %d series, want 4 (2 designs + 2 error columns)", len(f5.Series))
+	}
+	var errSeries int
+	for _, ser := range f5.Series {
+		if strings.HasPrefix(ser.Name, "± ") {
+			errSeries++
+			for i, v := range ser.Values {
+				if v < 0 || math.IsNaN(v) {
+					t.Errorf("series %q value %d is %v", ser.Name, i, v)
+				}
+			}
+		}
+	}
+	if errSeries != 2 {
+		t.Fatalf("%d error series, want 2", errSeries)
+	}
+	f6 := s.Figure6()
+	if len(f6.Series) != 4 {
+		t.Fatalf("sampled Figure 6 has %d series, want 4", len(f6.Series))
+	}
+	// Full-run suites must keep the original shape.
+	full := tinySuite()
+	if got := len(full.Figure6().Series); got != 2 {
+		t.Fatalf("full-run Figure 6 has %d series, want 2", got)
+	}
+}

@@ -50,6 +50,27 @@ type Cache interface {
 	Contains(b mem.Block) bool
 }
 
+// State is an opaque, design-specific snapshot of a cache's functional
+// contents. Each design defines its own concrete state type; the snapshot
+// layer (internal/snapshot) stores and transports them without inspecting
+// the contents. Concrete types are exported structs of exported fields so
+// the on-disk store can gob-encode them.
+type State interface{}
+
+// Snapshotter is implemented by designs whose functional contents can be
+// captured and restored — the L2 half of a warm-state checkpoint. The
+// contract mirrors Warm: only functional state (arrays, shadow tags) is
+// captured; timing resources and statistics are per-run and start clean.
+type Snapshotter interface {
+	// SnapshotState deep-copies the cache's functional contents. Mutating
+	// the cache afterwards must not change the returned state.
+	SnapshotState() State
+	// RestoreState overwrites the cache's functional contents with a state
+	// previously captured from an identically configured cache. It returns
+	// an error on a type or geometry mismatch.
+	RestoreState(State) error
+}
+
 // LookupLatency reports the lookup portion of an outcome relative to its
 // issue time.
 func LookupLatency(at sim.Time, o Outcome) uint64 {

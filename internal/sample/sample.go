@@ -1,0 +1,135 @@
+// Package sample implements SMARTS-style sampled simulation: instead of
+// timing every instruction of the measured interval, the runner alternates
+// functional fast-forward (cache state advances, no timing) with short
+// detailed intervals, and estimates whole-run metrics from the per-interval
+// observations. Bueno et al. and Zhang et al. (PAPERS.md) show such
+// interval sampling reproduces cache and CPI metrics within tight error
+// bounds at a fraction of the cost; the detailed fraction here is typically
+// a few percent.
+//
+// Timing convention: detailed intervals are contiguous on the simulated
+// clock — interval i+1 resumes the pipeline at interval i's finish via
+// cpu.Core.Resume — because the L2 designs require non-decreasing access
+// times and because a pipeline restart per interval would bias CPI. The
+// fast-forward stretches occupy no simulated time, so the final clock spans
+// exactly the detailed work — utilization and power metrics computed over
+// it are estimates for the measured execution, just like the miss rates.
+package sample
+
+import (
+	"fmt"
+
+	"tlc/internal/cpu"
+	"tlc/internal/sim"
+	"tlc/internal/stats"
+)
+
+// Options selects sampled execution. The zero value (no intervals) means
+// full detailed simulation.
+type Options struct {
+	// Intervals is the number of detailed measurement intervals.
+	Intervals int
+	// Length is the number of instructions timed in detail per interval.
+	Length uint64
+}
+
+// Enabled reports whether the options request sampling.
+func (o Options) Enabled() bool { return o.Intervals > 0 }
+
+// Validate checks the options against a run of total instructions.
+func (o Options) Validate(total uint64) error {
+	if o.Intervals <= 0 {
+		return fmt.Errorf("sample: %d intervals; need at least 1", o.Intervals)
+	}
+	if o.Length == 0 {
+		return fmt.Errorf("sample: interval length is zero")
+	}
+	detailed := uint64(o.Intervals) * o.Length
+	if detailed > total {
+		return fmt.Errorf("sample: %d×%d detailed instructions exceed the %d-instruction run; use a full run",
+			o.Intervals, o.Length, total)
+	}
+	return nil
+}
+
+// Interval is one detailed measurement, passed to the observer so callers
+// can sample their own per-interval statistics (the harness reads L2 stat
+// deltas here).
+type Interval struct {
+	// Index is the interval number, 0-based.
+	Index int
+	// Cycles is the detailed duration of this interval.
+	Cycles sim.Time
+	// Result is the core's timing result for the interval; Result.Cycles
+	// is the absolute finish clock.
+	Result cpu.Result
+}
+
+// Estimate aggregates a sampled run.
+type Estimate struct {
+	// Total is the number of instructions the estimate represents.
+	Total uint64
+	// Detailed is the number of instructions simulated in detail.
+	Detailed uint64
+	// Intervals is the number of measurement intervals taken.
+	Intervals int
+	// FinalClock is the absolute simulated clock after the last detailed
+	// interval — the window over which timing resources accumulated.
+	FinalClock sim.Time
+	// CPI holds the per-interval cycles-per-instruction observations.
+	CPI stats.Sample
+	// Sums of the detailed per-core counters, for rate estimates.
+	L1DHits, L1DMisses, L2Loads, L2Stores uint64
+}
+
+// Cycles estimates the full run's cycle count: Total × mean per-interval
+// CPI.
+func (e *Estimate) Cycles() float64 { return e.CPI.Mean() * float64(e.Total) }
+
+// CyclesCI is the 95% confidence half-width on Cycles, from interval-to-
+// interval CPI variation.
+func (e *Estimate) CyclesCI() float64 { return e.CPI.CI95() * float64(e.Total) }
+
+// Run executes a sampled measurement of total instructions on a warmed
+// core: per interval, a functional fast-forward stretch followed by
+// opt.Length detailed instructions. The stream advances exactly total
+// instructions. observe, if non-nil, is called after each detailed
+// interval. Options must have been validated.
+func Run(core *cpu.Core, s cpu.Stream, total uint64, opt Options, observe func(Interval)) Estimate {
+	n := uint64(opt.Intervals)
+	detailed := n * opt.Length
+	ffPer := (total - detailed) / n
+	ffExtra := (total - detailed) % n // first ffExtra intervals skip one more
+
+	est := Estimate{Total: total, Detailed: detailed, Intervals: opt.Intervals}
+	var clock sim.Time
+	for i := 0; i < opt.Intervals; i++ {
+		ff := ffPer
+		if uint64(i) < ffExtra {
+			ff++
+		}
+		core.Warm(s, ff)
+		var r cpu.Result
+		if i == 0 {
+			r = core.RunFrom(s, opt.Length, 0)
+		} else {
+			// Later intervals resume the pipeline rather than restarting
+			// it: the measured CPI then carries no per-interval
+			// pipeline-refill/drain transient, which would otherwise bias
+			// the estimate up by a fixed cost per interval.
+			r = core.Resume(s, opt.Length)
+		}
+		dur := r.Cycles - clock
+		clock = r.Cycles
+		est.CPI.Observe(float64(dur) / float64(opt.Length))
+		est.L1DHits += r.L1DHits
+		est.L1DMisses += r.L1DMisses
+		est.L2Loads += r.L2Loads
+		est.L2Stores += r.L2Stores
+		if observe != nil {
+			observe(Interval{Index: i, Cycles: dur, Result: r})
+		}
+	}
+	est.FinalClock = clock
+	return est
+}

@@ -7,7 +7,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -24,24 +23,61 @@ type item struct {
 	fn  Event
 }
 
-// eventHeap implements heap.Interface ordered by (at, seq).
+// eventHeap is a hand-rolled binary min-heap of items ordered by (at, seq).
+// container/heap's interface{}-shaped Push/Pop boxed one item per scheduled
+// event; the typed heap keeps the scheduling hot path allocation-free once
+// the backing array reaches steady-state capacity.
 type eventHeap []item
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+// less orders the heap by timestamp, then by scheduling order (FIFO ties).
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+// push adds an item and restores the heap invariant by sifting it up.
+func (h *eventHeap) push(it item) {
+	*h = append(*h, it)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum item, sifting the displaced tail down.
+func (h *eventHeap) pop() item {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = item{} // release the callback so the backing array does not pin it
+	*h = q[:n]
+	q = q[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		min := left
+		if right := left + 1; right < n && q.less(right, left) {
+			min = right
+		}
+		if !q.less(min, i) {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
 }
 
 // Engine is a deterministic discrete-event simulator.
@@ -70,7 +106,7 @@ func (e *Engine) At(t Time, fn Event) {
 		panic(fmt.Sprintf("sim: scheduling event at cycle %d, before now (%d)", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, item{at: t, seq: e.seq, fn: fn})
+	e.queue.push(item{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d cycles from now.
@@ -82,7 +118,7 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	it := heap.Pop(&e.queue).(item)
+	it := e.queue.pop()
 	e.now = it.at
 	it.fn()
 	return true

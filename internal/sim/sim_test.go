@@ -190,6 +190,45 @@ func TestQuickEventOrdering(t *testing.T) {
 	}
 }
 
+// TestEngineSchedulingDoesNotAllocate pins the typed min-heap's allocation
+// behaviour: once the queue's backing array has grown to its steady-state
+// size, At and Step must not allocate (container/heap boxed one item per
+// Push/Pop through its interface{} methods).
+func TestEngineSchedulingDoesNotAllocate(t *testing.T) {
+	e := New()
+	fn := func() {}
+	// Grow the queue to steady-state capacity.
+	for i := 0; i < 64; i++ {
+		e.At(e.Now()+Time(i)+1, fn)
+	}
+	for e.Step() {
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		now := e.Now()
+		for i := 0; i < 32; i++ {
+			e.At(now+Time(i)+1, fn)
+		}
+		for e.Step() {
+		}
+	}); allocs != 0 {
+		t.Fatalf("At/Step allocated %.1f times per schedule-and-drain cycle, want 0", allocs)
+	}
+}
+
+// TestEngineStepReleasesCallback verifies pop clears the vacated tail slot:
+// a drained queue must not pin the last event's closure in its backing array.
+func TestEngineStepReleasesCallback(t *testing.T) {
+	e := New()
+	e.At(1, func() {})
+	e.Step()
+	q := e.queue[:cap(e.queue)]
+	for i := range q {
+		if q[i].fn != nil {
+			t.Fatal("drained queue still references an event callback")
+		}
+	}
+}
+
 func TestResourceBackToBackReservations(t *testing.T) {
 	var r Resource
 	if got := r.Reserve(0, 4); got != 0 {

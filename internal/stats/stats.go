@@ -269,6 +269,55 @@ func (s *Series) String() string {
 	return out
 }
 
+// Sample accumulates scalar observations and reports their mean with a 95%
+// confidence interval — the aggregation sampled simulation applies to
+// per-interval CPI, lookup latency, and miss rate. Welford's algorithm
+// keeps the variance numerically stable without storing observations.
+type Sample struct {
+	n    uint64
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+}
+
+// Observe records one observation.
+func (s *Sample) Observe(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N reports the number of observations.
+func (s *Sample) N() uint64 { return s.n }
+
+// Mean reports the sample mean (0 when empty).
+func (s *Sample) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.mean
+}
+
+// StdDev reports the sample standard deviation (Bessel-corrected; 0 with
+// fewer than two observations).
+func (s *Sample) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// CI95 reports the half-width of the normal-approximation 95% confidence
+// interval on the mean: 1.96·s/√n. With fewer than two observations the
+// spread is unknowable and CI95 is 0; callers wanting an honest interval
+// should use several intervals (the sampling literature suggests ≥8).
+func (s *Sample) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(float64(s.n))
+}
+
 // SortedKeys returns the keys of m in sorted order; a helper for rendering
 // deterministic tables from map-shaped results.
 func SortedKeys(m map[string]float64) []string {

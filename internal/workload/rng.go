@@ -1,0 +1,74 @@
+package workload
+
+// prng is the generator's random source: xoshiro256** seeded through a
+// splitmix64 expansion. It replaces math/rand, whose generator hides its
+// state — the warm-state checkpointing in internal/snapshot must capture
+// and restore the stream position exactly, so the source's entire state
+// lives in four exported-able words (see RNGState).
+//
+// The draw methods mirror the math/rand surface the generator uses
+// (Float64, Intn, Int63n); streams are deterministic per seed but differ
+// from math/rand's for the same seed.
+type prng struct {
+	s [4]uint64
+}
+
+// newPRNG seeds a generator. Distinct seeds give decorrelated streams; the
+// splitmix64 expansion guarantees a nonzero state even for seed 0.
+func newPRNG(seed int64) *prng {
+	p := &prng{}
+	sm := uint64(seed)
+	for i := range p.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		p.s[i] = z ^ (z >> 31)
+	}
+	return p
+}
+
+// reseed resets the state as if freshly constructed with seed.
+func (p *prng) reseed(seed int64) { *p = *newPRNG(seed) }
+
+// state returns the complete source state.
+func (p *prng) state() [4]uint64 { return p.s }
+
+// setState restores a state captured by state().
+func (p *prng) setState(s [4]uint64) { p.s = s }
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 draws the next value (xoshiro256**).
+func (p *prng) Uint64() uint64 {
+	result := rotl(p.s[1]*5, 7) * 9
+	t := p.s[1] << 17
+	p.s[2] ^= p.s[0]
+	p.s[3] ^= p.s[1]
+	p.s[1] ^= p.s[2]
+	p.s[0] ^= p.s[3]
+	p.s[2] ^= t
+	p.s[3] = rotl(p.s[3], 45)
+	return result
+}
+
+// Float64 draws uniformly from [0,1) with 53 bits of precision.
+func (p *prng) Float64() float64 {
+	return float64(p.Uint64()>>11) / (1 << 53)
+}
+
+// Int63n draws uniformly from [0,n). n must be positive. The modulo bias is
+// below 2^-40 for every range the generator uses (footprints are far below
+// 2^40 blocks), which is negligible next to the synthetic specs' own
+// calibration tolerances.
+func (p *prng) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("workload: Int63n with non-positive bound")
+	}
+	return int64(p.Uint64() % uint64(n))
+}
+
+// Intn draws uniformly from [0,n). n must be positive.
+func (p *prng) Intn(n int) int {
+	return int(p.Int63n(int64(n)))
+}

@@ -14,7 +14,6 @@ package workload
 
 import (
 	"fmt"
-	"math/rand"
 
 	"tlc/internal/cpu"
 	"tlc/internal/l2"
@@ -88,7 +87,7 @@ type Spec struct {
 // Generator produces the instruction stream for a Spec.
 type Generator struct {
 	spec Spec
-	rng  *rand.Rand
+	rng  *prng
 
 	l1Blocks, hotBlocks, coldBlocks uint64
 	l1Base, hotBase, coldBase       uint64
@@ -118,7 +117,7 @@ func New(spec Spec, seed int64) *Generator {
 	}
 	return &Generator{
 		spec:       spec,
-		rng:        rand.New(rand.NewSource(seed)),
+		rng:        newPRNG(seed),
 		l1Blocks:   max64(l1, 1),
 		hotBlocks:  max64(hot, 1),
 		coldBlocks: cold,
@@ -137,6 +136,49 @@ func max64(a, b uint64) uint64 {
 
 // Spec reports the generator's spec.
 func (g *Generator) Spec() Spec { return g.spec }
+
+// State is the generator's complete stream position: RNG state plus the
+// phase variables (stream pointer, window head, spatial-repeat countdown,
+// memory-op credit). Capturing it after warm-up and restoring it later
+// resumes the identical instruction stream — the workload half of a
+// warm-state checkpoint. All fields are exported for gob encoding by the
+// on-disk checkpoint store.
+type State struct {
+	RNG        [4]uint64
+	StreamPtr  uint64
+	StreamLeft int
+	WindowHead uint64
+	MemCredit  float64
+}
+
+// State captures the generator's stream position.
+func (g *Generator) State() State {
+	return State{
+		RNG:        g.rng.state(),
+		StreamPtr:  g.streamPtr,
+		StreamLeft: g.streamLeft,
+		WindowHead: g.windowHead,
+		MemCredit:  g.memCredit,
+	}
+}
+
+// SetState restores a stream position captured by State on a generator
+// built from the same Spec. The subsequent Next sequence is identical to
+// the one the captured generator would have produced.
+func (g *Generator) SetState(st State) {
+	g.rng.setState(st.RNG)
+	g.streamPtr = st.StreamPtr
+	g.streamLeft = st.StreamLeft
+	g.windowHead = st.WindowHead
+	g.memCredit = st.MemCredit
+}
+
+// Reseed replaces the random source with a freshly seeded one while keeping
+// the phase variables (stream position, working-set window). A seed sweep
+// over the timed interval reseeds after warm-up: every seed then measures
+// from the same warmed machine state, isolating seed effects to the
+// measured interval itself.
+func (g *Generator) Reseed(seed int64) { g.rng.reseed(seed) }
 
 // Next implements cpu.Stream.
 func (g *Generator) Next() cpu.Instr {
@@ -400,22 +442,37 @@ func (s Spec) AutoWarmInstructions() uint64 {
 	return warm
 }
 
+// specIndex maps benchmark names to their specs, built once: SpecByName is
+// called per Run and per checkpoint-key computation, and rebuilding all
+// twelve specs per lookup was measurable in sweep profiles.
+var specIndex = func() map[string]Spec {
+	m := make(map[string]Spec, 12)
+	for _, s := range Specs() {
+		m[s.Name] = s
+	}
+	return m
+}()
+
 // SpecByName looks up one of the twelve benchmarks.
 func SpecByName(name string) (Spec, bool) {
-	for _, s := range Specs() {
-		if s.Name == name {
-			return s, true
-		}
-	}
-	return Spec{}, false
+	s, ok := specIndex[name]
+	return s, ok
 }
 
-// Names lists the benchmark names in order.
-func Names() []string {
+// specNames is the Table 6 name order, built once alongside specIndex.
+var specNames = func() []string {
 	specs := Specs()
 	out := make([]string, len(specs))
 	for i, s := range specs {
 		out[i] = s.Name
 	}
+	return out
+}()
+
+// Names lists the benchmark names in order. The returned slice is fresh per
+// call; callers may mutate it.
+func Names() []string {
+	out := make([]string, len(specNames))
+	copy(out, specNames)
 	return out
 }

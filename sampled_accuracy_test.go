@@ -1,0 +1,54 @@
+package tlc
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSampledModeAccuracy is the acceptance gate for sampled execution:
+// at bench scale (the warm/run shape bench_test.go uses) the sampled
+// estimate must land within ±3% of the full detailed run's cycle count on
+// all twelve benchmarks. 50 intervals × 2000 instructions stratifies the
+// workloads' burst and working-set phases finely enough; with pipeline
+// state resuming across intervals the residual error is pure sampling
+// variance, and the runs are deterministic, so the margin is stable.
+func TestSampledModeAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-vs-sampled comparison across all benchmarks is slow")
+	}
+	const tolerance = 0.03
+	store := NewCheckpointStore(0, "") // share warm state between the pair
+	for _, b := range Benchmarks() {
+		b := b
+		t.Run(b, func(t *testing.T) {
+			opt := Options{
+				WarmInstructions: 2_000_000,
+				RunInstructions:  200_000,
+				Seed:             1,
+				Checkpoints:      store,
+			}
+			full, err := Run(DesignTLC, b, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt.SampleIntervals = 50
+			opt.SampleLength = 2_000
+			sampled, err := RunSampled(DesignTLC, b, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rel := (float64(sampled.Cycles) - float64(full.Cycles)) / float64(full.Cycles)
+			if math.Abs(rel) > tolerance {
+				t.Errorf("sampled cycles %d vs full %d: %+.2f%% error exceeds ±%.0f%%",
+					sampled.Cycles, full.Cycles, 100*rel, 100*tolerance)
+			}
+			if sampled.CyclesCI < 0 || math.IsNaN(sampled.CyclesCI) {
+				t.Errorf("bad cycles confidence interval %v", sampled.CyclesCI)
+			}
+			if sampled.DetailedInstructions != 100_000 {
+				t.Errorf("sampled run timed %d instructions in detail, want 100000",
+					sampled.DetailedInstructions)
+			}
+		})
+	}
+}

@@ -16,6 +16,7 @@ package tlc
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"tlc/internal/area"
 	"tlc/internal/config"
@@ -25,7 +26,10 @@ import (
 	"tlc/internal/noc"
 	"tlc/internal/nuca"
 	"tlc/internal/power"
+	"tlc/internal/sample"
 	"tlc/internal/sim"
+	"tlc/internal/snapshot"
+	"tlc/internal/stats"
 	"tlc/internal/tlcache"
 	"tlc/internal/tline"
 	"tlc/internal/workload"
@@ -73,6 +77,48 @@ type Options struct {
 	// single-bit upsets are corrected in place, detected double-bit
 	// errors cost a retry round trip. Zero disables injection.
 	BitErrorRate float64
+
+	// WarmSeed, when nonzero, seeds the warm-up stream separately from
+	// the timed run: after warm-up the generator reseeds with Seed, so a
+	// seed sweep measures every seed from one shared warmed machine state
+	// (and one shared checkpoint). Zero warms with Seed itself.
+	WarmSeed int64
+
+	// Checkpoints, when non-nil, caches post-warm machine state keyed by
+	// (design configuration, benchmark, warm seed, warm length). A run
+	// whose key is present restores the state and skips warm-up entirely;
+	// restored runs are bit-identical to runs that re-executed the
+	// warm-up, because warm-up is purely functional. Share one store
+	// across runs/goroutines to amortize warm-up; see NewCheckpointStore.
+	Checkpoints *CheckpointStore
+
+	// SampleIntervals, when positive, switches timing to SMARTS-style
+	// sampled execution: SampleIntervals detailed intervals of
+	// SampleLength instructions each, separated by functional
+	// fast-forwarding, covering RunInstructions in total. Cycle counts
+	// are estimated from per-interval CPI; RunSampled additionally
+	// reports 95% confidence intervals.
+	SampleIntervals int
+	// SampleLength is the detailed instructions per interval (used only
+	// when SampleIntervals > 0).
+	SampleLength uint64
+}
+
+// SampleOptions projects the sampling fields.
+func (o Options) SampleOptions() sample.Options {
+	return sample.Options{Intervals: o.SampleIntervals, Length: o.SampleLength}
+}
+
+// CheckpointStore holds warm-state checkpoints: an in-process LRU with an
+// optional on-disk tier. See internal/snapshot for the determinism
+// contract.
+type CheckpointStore = snapshot.Store
+
+// NewCheckpointStore builds a checkpoint store holding up to capacity
+// checkpoints in memory (a default when capacity <= 0). A non-empty dir
+// adds a persistent tier shared across processes (the CLIs' -ckptdir).
+func NewCheckpointStore(capacity int, dir string) *CheckpointStore {
+	return snapshot.NewStore(capacity, dir)
 }
 
 // DefaultOptions returns the standard scaled run: automatic functional
@@ -178,30 +224,111 @@ func build(d Design, opt Options) instance {
 	}
 }
 
-// Run simulates one benchmark on one design.
+// Run simulates one benchmark on one design. With SampleIntervals set it
+// runs in sampled mode (RunSampled exposes the confidence intervals the
+// plain Result drops).
 func Run(d Design, benchmark string, opt Options) (Result, error) {
 	spec, ok := workload.SpecByName(benchmark)
 	if !ok {
 		return Result{}, fmt.Errorf("tlc: unknown benchmark %q", benchmark)
 	}
-	return RunSpec(d, spec, opt), nil
+	return RunSpec(d, spec, opt)
 }
 
-// RunSpec simulates a custom workload spec on one design.
-func RunSpec(d Design, spec workload.Spec, opt Options) Result {
+// checkpointFormat versions the warm-state layout. Bump it whenever the
+// captured state's shape or semantics change, so stale on-disk checkpoints
+// miss instead of restoring garbage.
+const checkpointFormat = 1
+
+// configHash keys checkpoints by everything that shapes post-warm machine
+// state: the design and its parameters, the system (L1 geometry), and the
+// workload spec. Over-keying (including parameters warm-up ignores) only
+// costs spurious misses; under-keying would silently restore wrong state.
+func configHash(d Design, spec workload.Spec) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v%d|%s|%+v|%+v|", checkpointFormat, d, config.DefaultSystem(), spec)
+	switch d {
+	case config.SNUCA2, config.DNUCA:
+		fmt.Fprintf(h, "%+v", config.NUCAFor(d))
+	default:
+		fmt.Fprintf(h, "%+v", config.TLCFor(d))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// prepare builds the machine for a run and brings it to measured-interval
+// start: post-warm cache state with the generator positioned (and seeded)
+// for the timed stream. Warm-up restores from opt.Checkpoints when
+// possible, re-executing (and storing the result) otherwise.
+func prepare(d Design, spec workload.Spec, opt Options) (instance, *cpu.Core, *workload.Generator) {
 	sys := config.DefaultSystem()
 	inst := build(d, opt)
-	gen := workload.New(spec, opt.Seed)
-	core := cpu.New(sys, inst.cache)
-	// Pre-warm installs the whole footprint so capacity state matches a
-	// long-running process, then the trace warm-up establishes recency and
-	// migration steady state.
-	gen.PreWarm(inst.cache)
+	warmSeed := opt.WarmSeed
+	if warmSeed == 0 {
+		warmSeed = opt.Seed
+	}
 	warm := opt.WarmInstructions
 	if warm == 0 {
 		warm = spec.AutoWarmInstructions()
 	}
-	core.Warm(gen, warm)
+	gen := workload.New(spec, warmSeed)
+	core := cpu.New(sys, inst.cache)
+
+	key := snapshot.Key{Config: configHash(d, spec), Bench: spec.Name, Seed: warmSeed, Warm: warm}
+	restored := false
+	if opt.Checkpoints != nil {
+		if ckp, ok := opt.Checkpoints.Get(key); ok {
+			restored = restoreCheckpoint(ckp, core, inst.cache, gen)
+		}
+	}
+	if !restored {
+		// Pre-warm installs the whole footprint so capacity state matches
+		// a long-running process, then the trace warm-up establishes
+		// recency and migration steady state.
+		gen.PreWarm(inst.cache)
+		core.Warm(gen, warm)
+		if opt.Checkpoints != nil {
+			if snap, ok := inst.cache.(l2.Snapshotter); ok {
+				opt.Checkpoints.Put(key, snapshot.Checkpoint{
+					Core: core.Snapshot(),
+					L2:   snap.SnapshotState(),
+					Gen:  gen.State(),
+				})
+			}
+		}
+	}
+	if opt.Seed != warmSeed {
+		// The timed interval measures its own stream: decorrelate it from
+		// the (shared) warm-up stream.
+		gen.Reseed(opt.Seed)
+	}
+	return inst, core, gen
+}
+
+// restoreCheckpoint applies a stored checkpoint; a false return (type or
+// geometry mismatch, e.g. a stale disk entry) falls back to re-warming.
+func restoreCheckpoint(ckp snapshot.Checkpoint, core *cpu.Core, c l2.Cache, gen *workload.Generator) bool {
+	snap, ok := c.(l2.Snapshotter)
+	if !ok {
+		return false
+	}
+	if err := core.Restore(ckp.Core); err != nil {
+		return false
+	}
+	if err := snap.RestoreState(ckp.L2); err != nil {
+		return false
+	}
+	gen.SetState(ckp.Gen)
+	return true
+}
+
+// RunSpec simulates a custom workload spec on one design.
+func RunSpec(d Design, spec workload.Spec, opt Options) (Result, error) {
+	if opt.SampleIntervals > 0 {
+		sres, err := RunSpecSampled(d, spec, opt)
+		return sres.Result, err
+	}
+	inst, core, gen := prepare(d, spec, opt)
 	cr := core.Run(gen, opt.RunInstructions)
 
 	st := inst.stats()
@@ -219,7 +346,101 @@ func RunSpec(d Design, spec workload.Spec, opt Options) Result {
 		BanksPerRequest: st.BanksPerRequest(),
 	}
 	inst.finish(&res, cr.Cycles)
-	return res
+	return res, nil
+}
+
+// SampledResult is a Result estimated by sampled execution, plus the 95%
+// confidence half-widths interval-to-interval variation puts on the
+// estimated metrics. A CI of 0 with few intervals means "unknown", not
+// "exact"; use 8+ intervals for honest intervals.
+type SampledResult struct {
+	Result
+	// CyclesCI is the 95% confidence half-width on Cycles.
+	CyclesCI float64
+	// MeanLookupCI is the 95% confidence half-width on MeanLookup.
+	MeanLookupCI float64
+	// MissesPer1KCI is the 95% confidence half-width on MissesPer1K.
+	MissesPer1KCI float64
+	// Intervals and DetailedInstructions report the sampling shape used.
+	Intervals            int
+	DetailedInstructions uint64
+}
+
+// RunSampled simulates one benchmark on one design in sampled mode.
+func RunSampled(d Design, benchmark string, opt Options) (SampledResult, error) {
+	spec, ok := workload.SpecByName(benchmark)
+	if !ok {
+		return SampledResult{}, fmt.Errorf("tlc: unknown benchmark %q", benchmark)
+	}
+	return RunSpecSampled(d, spec, opt)
+}
+
+// RunSpecSampled simulates a custom workload spec on one design in sampled
+// mode: SampleIntervals detailed intervals of SampleLength instructions,
+// interleaved with functional fast-forwarding, standing in for a full
+// RunInstructions-long detailed run.
+func RunSpecSampled(d Design, spec workload.Spec, opt Options) (SampledResult, error) {
+	sopt := opt.SampleOptions()
+	if err := sopt.Validate(opt.RunInstructions); err != nil {
+		return SampledResult{}, err
+	}
+	inst, core, gen := prepare(d, spec, opt)
+
+	// Per-interval L2 stat deltas feed the lookup-latency and miss-rate
+	// confidence intervals.
+	st := inst.stats()
+	var lookup, missRate stats.Sample
+	var prevLookupSum, prevLookupCount, prevMisses uint64
+	est := sample.Run(core, gen, opt.RunInstructions, sopt, func(iv sample.Interval) {
+		dSum := st.Lookup.Sum() - prevLookupSum
+		dCount := st.Lookup.Count() - prevLookupCount
+		dMiss := st.Misses.Value() - prevMisses
+		prevLookupSum, prevLookupCount, prevMisses = st.Lookup.Sum(), st.Lookup.Count(), st.Misses.Value()
+		if dCount > 0 {
+			lookup.Observe(float64(dSum) / float64(dCount))
+		}
+		missRate.Observe(1000 * float64(dMiss) / float64(iv.Result.Instructions))
+	})
+
+	estCycles := est.Cycles()
+	res := Result{
+		Design:       d,
+		Benchmark:    spec.Name,
+		Instructions: opt.RunInstructions,
+		Cycles:       uint64(estCycles + 0.5),
+		// The L2 counters cover only the detailed instructions; rates are
+		// computed over that denominator, and the absolute load/store
+		// counts are scaled to the full run like the cycle estimate.
+		L2Loads:         scaleCount(st.Loads.Value(), opt.RunInstructions, est.Detailed),
+		L2Stores:        scaleCount(st.Stores.Value(), opt.RunInstructions, est.Detailed),
+		MissesPer1K:     st.MissesPer1K(est.Detailed),
+		MeanLookup:      st.Lookup.Mean(),
+		PredictablePct:  st.PredictablePct(),
+		BanksPerRequest: st.BanksPerRequest(),
+	}
+	if estCycles > 0 {
+		res.IPC = float64(opt.RunInstructions) / estCycles
+	}
+	// Power and utilization integrate over the detailed window: the clock
+	// only advances during detailed intervals, so FinalClock is that
+	// window's span.
+	inst.finish(&res, est.FinalClock)
+	return SampledResult{
+		Result:               res,
+		CyclesCI:             est.CyclesCI(),
+		MeanLookupCI:         lookup.CI95(),
+		MissesPer1KCI:        missRate.CI95(),
+		Intervals:            est.Intervals,
+		DetailedInstructions: est.Detailed,
+	}, nil
+}
+
+// scaleCount extrapolates a detailed-interval event count to the full run.
+func scaleCount(n, total, detailed uint64) uint64 {
+	if detailed == 0 {
+		return n
+	}
+	return uint64(float64(n)*float64(total)/float64(detailed) + 0.5)
 }
 
 // SeedStats summarizes a metric across seeds: the reproduction's
@@ -240,9 +461,21 @@ func (s SeedStats) Spread() float64 {
 // summarizes cycles, mean lookup latency, and misses/1K. Conclusions that
 // survive the seed sweep are workload-structure effects, not artifacts of
 // one random stream.
+//
+// The sweep warms up once: every seed measures from the machine state the
+// first seed's warm-up produced (WarmSeed pins the warm stream; the timed
+// stream reseeds per seed). Warm-up is paid once via the checkpoint store —
+// opt.Checkpoints if provided, else a sweep-local one — so seeds after the
+// first skip it entirely.
 func RunSeeds(d Design, benchmark string, opt Options, seeds []int64) (cycles, lookup, misses SeedStats, err error) {
 	if len(seeds) == 0 {
 		return cycles, lookup, misses, fmt.Errorf("tlc: no seeds")
+	}
+	if opt.WarmSeed == 0 {
+		opt.WarmSeed = seeds[0]
+	}
+	if opt.Checkpoints == nil {
+		opt.Checkpoints = NewCheckpointStore(0, "")
 	}
 	summ := func(vals []float64) SeedStats {
 		st := SeedStats{Min: vals[0], Max: vals[0]}
