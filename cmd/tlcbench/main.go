@@ -9,6 +9,12 @@
 //	tlcbench -par 8 -out bench.json
 //	tlcbench -ckptdir ~/.tlc-ckpt -sample 50  # warm-skip + sampled detail
 //	tlcbench -cpuprofile cpu.pprof -memprofile mem.pprof
+//	tlcbench -out b.json -diff-against prev.json  # metric drift vs last artifact
+//
+// Each run record embeds its full metric-registry snapshot, so the artifact
+// carries every counter, gauge, and histogram the simulation layers
+// registered; -diff-against reports which of them moved since a previous
+// artifact (empty for a pure refactor).
 package main
 
 import (
@@ -45,6 +51,12 @@ type record struct {
 	CyclesCI      float64 `json:"cycles_ci,omitempty"`
 	MeanLookupCI  float64 `json:"mean_lookup_ci,omitempty"`
 	MissesPer1KCI float64 `json:"misses_per_1k_ci,omitempty"`
+
+	// Metrics is the run's full registry snapshot — every counter, gauge,
+	// and histogram each simulation layer registered — so the trajectory
+	// artifact carries far more than the headline columns and any metric
+	// can be diffed across commits (-diff-against).
+	Metrics tlc.MetricsSnapshot `json:"metrics,omitempty"`
 }
 
 // document is the emitted JSON shape.
@@ -67,6 +79,8 @@ func main() {
 	par := flag.Int("par", runtime.NumCPU(), "simulation parallelism")
 	seed := flag.Int64("seed", 1, "workload seed")
 	out := flag.String("out", "", "output file (default stdout)")
+	diffAgainst := flag.String("diff-against", "",
+		"previous artifact to diff the embedded metrics against (report on stderr)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a post-sweep heap profile to this file")
 	accel := cliopt.Register()
@@ -157,6 +171,9 @@ func main() {
 				rec.MeanLookupCI = sr.MeanLookupCI
 				rec.MissesPer1KCI = sr.MissesPer1KCI
 			}
+			if snap, ok := s.RunMetrics(d, b); ok {
+				rec.Metrics = snap
+			}
 			doc.Runs = append(doc.Runs, rec)
 			base := float64(s.Run(tlc.DesignSNUCA2, b).Cycles)
 			norm[d].Append(b, float64(r.Cycles)/base)
@@ -196,6 +213,13 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *diffAgainst != "" {
+		if err := diffMetrics(*diffAgainst, doc); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
@@ -209,6 +233,51 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// diffMetrics compares every embedded metric of the current artifact with a
+// previous one, run by run, and reports changed values on stderr. It is the
+// CI trajectory check: after a pure-refactor commit the diff must be empty,
+// and after a modeling change it names exactly which counters moved. A
+// previous artifact without embedded metrics (or with a different grid)
+// diffs only the intersection.
+func diffMetrics(path string, cur document) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("diff-against: %w", err)
+	}
+	var prev document
+	if err := json.Unmarshal(raw, &prev); err != nil {
+		return fmt.Errorf("diff-against %s: %w", path, err)
+	}
+
+	prevRuns := make(map[string]record, len(prev.Runs))
+	for _, r := range prev.Runs {
+		prevRuns[r.Design+"/"+r.Benchmark] = r
+	}
+
+	changed, compared := 0, 0
+	for _, r := range cur.Runs {
+		p, ok := prevRuns[r.Design+"/"+r.Benchmark]
+		if !ok || len(p.Metrics) == 0 || len(r.Metrics) == 0 {
+			continue
+		}
+		for _, m := range r.Metrics {
+			old, ok := p.Metrics.Value(m.Name)
+			if !ok {
+				continue
+			}
+			compared++
+			if old != m.Value {
+				changed++
+				fmt.Fprintf(os.Stderr, "metric %s/%s %s: %g -> %g\n",
+					r.Design, r.Benchmark, m.Name, old, m.Value)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "metrics diff vs %s: %d of %d values changed\n",
+		path, changed, compared)
+	return nil
 }
 
 // sortRecords keeps the emitted order stable regardless of execution order.

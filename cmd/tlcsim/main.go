@@ -7,6 +7,7 @@
 //	tlcsim -design TLC,DNUCA -bench gcc -json   # machine-readable results
 //	tlcsim -bench gcc -ckptdir ~/.tlc-ckpt      # reuse warm state on disk
 //	tlcsim -bench gcc -sample 50 -samplelen 2000  # sampled execution, ± CI
+//	tlcsim -bench gcc -metrics metrics.json     # full registry dump per run
 //	tlcsim -list
 //
 // Grid runs execute in parallel (deduplicated per key by the experiment
@@ -162,6 +163,11 @@ func main() {
 		printFull(s.Run(designs[0], benches[0]), sres, elapsed)
 	default:
 		printGrid(s, designs, benches, elapsed)
+	}
+
+	if err := accel.WriteMetrics(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 

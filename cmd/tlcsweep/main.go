@@ -8,6 +8,7 @@
 //	tlcsweep -bench mcf     # benchmark for the simulation sweeps
 //	tlcsweep -par 8         # simulation parallelism
 //	tlcsweep -ckptdir DIR   # persist warm-state checkpoints across runs
+//	tlcsweep -metrics FILE  # full registry dump for every simulated run
 //
 // All simulation sweeps share one warm-state checkpoint store: the memory
 // sweep's flat and banked-DRAM runs warm identically (warm-up is functional),
@@ -73,6 +74,11 @@ func main() {
 		memorySweep(*bench)
 		seedSweep(*bench)
 		geometrySweep()
+	}
+	// Every sweep's Options came from sweepOptions (Apply), so one dump
+	// collects across all suites of the invocation.
+	if err := accel.WriteMetrics(); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -10,6 +10,7 @@
 //	                     # table8|table9|fig3|fig5|fig6|fig7|fig8
 //	tlctables -ckptdir ~/.tlc-ckpt   # reuse warm state across invocations
 //	tlctables -sample 50             # sampled runs; figures gain ± columns
+//	tlctables -metrics metrics.json  # full registry dump for every run
 //
 // Simulation runs are deterministic and independent per (design,
 // benchmark) key, so stdout is byte-identical for every -par value;
@@ -88,6 +89,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(fn())
+		if err := accel.WriteMetrics(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -109,6 +114,10 @@ func main() {
 
 	for _, name := range []string{"table6", "fig5", "fig6", "table9", "fig7", "fig8"} {
 		fmt.Println(simulated[name]())
+	}
+	if err := accel.WriteMetrics(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 

@@ -4,6 +4,7 @@
 //	tlctrace -capture gcc.trace -bench gcc -n 5000000
 //	tlctrace -info gcc.trace
 //	tlctrace -replay gcc.trace -design TLC -run 2000000
+//	tlctrace -replay gcc.trace -design TLC -metrics metrics.json
 //
 // Captured traces replay deterministically, so every design sees
 // byte-identical input; they also serve as an interchange point for
@@ -35,6 +36,8 @@ func main() {
 	design := flag.String("design", "TLC", "design for -replay")
 	warmN := flag.Uint64("warm", 2_000_000, "warm-up instructions for -replay")
 	runN := flag.Uint64("run", 2_000_000, "timed instructions for -replay")
+	metricsF := flag.String("metrics", "",
+		"with -replay: dump the design's full metric registry as JSON to this file ('-' for stdout)")
 	flag.Parse()
 
 	switch {
@@ -43,7 +46,7 @@ func main() {
 	case *info != "":
 		doInfo(*info)
 	case *replay != "":
-		doReplay(*replay, *design, *warmN, *runN)
+		doReplay(*replay, *design, *warmN, *runN, *metricsF)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -81,18 +84,15 @@ func doInfo(path string) {
 		s.UniqueBlocks, float64(s.UniqueBlocks)*64/1024/1024)
 }
 
-func doReplay(path, designName string, warmN, runN uint64) {
+func doReplay(path, designName string, warmN, runN uint64, metricsPath string) {
 	r := open(path)
 	sys := config.DefaultSystem()
-	var c l2.Cache
-	var stats func() *l2.Stats
+	var c l2.Instrumented
 	switch {
 	case strings.EqualFold(designName, "SNUCA2"):
-		x := nuca.NewSNUCA(sys.MemoryLatency)
-		c, stats = x, x.L2Stats
+		c = nuca.NewSNUCA(sys.MemoryLatency)
 	case strings.EqualFold(designName, "DNUCA"):
-		x := nuca.NewDNUCA(sys.MemoryLatency)
-		c, stats = x, x.L2Stats
+		c = nuca.NewDNUCA(sys.MemoryLatency)
 	default:
 		var d config.Design = -1
 		for _, cand := range config.TLCFamily() {
@@ -103,13 +103,13 @@ func doReplay(path, designName string, warmN, runN uint64) {
 		if d < 0 {
 			fatal("unknown design %q", designName)
 		}
-		x := tlcache.New(d, sys.MemoryLatency)
-		c, stats = x, x.L2Stats
+		c = tlcache.New(d, sys.MemoryLatency)
 	}
 	core := cpu.New(sys, c)
+	core.RegisterMetrics(c.Metrics())
 	core.Warm(r, warmN)
 	res := core.Run(r, runN)
-	st := stats()
+	st := c.L2Stats()
 	fmt.Printf("design        %s\n", designName)
 	fmt.Printf("instructions  %d\n", res.Instructions)
 	fmt.Printf("cycles        %d (IPC %.3f)\n", res.Cycles, res.IPC())
@@ -117,6 +117,20 @@ func doReplay(path, designName string, warmN, runN uint64) {
 	fmt.Printf("misses/1K     %.3f\n", st.MissesPer1K(res.Instructions))
 	fmt.Printf("mean lookup   %.2f cycles (%.1f%% predictable)\n",
 		st.Lookup.Mean(), st.PredictablePct())
+	if metricsPath != "" {
+		w := os.Stdout
+		if metricsPath != "-" {
+			f, err := os.Create(metricsPath)
+			if err != nil {
+				fatal("%v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := c.Metrics().Snapshot(res.Cycles).WriteJSON(w); err != nil {
+			fatal("metrics: %v", err)
+		}
+	}
 }
 
 func open(path string) *trace.Reader {

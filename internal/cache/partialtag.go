@@ -57,19 +57,25 @@ func (p *PartialTags) Clear(b mem.Block, bank, way int) {
 // Candidates reports which banks have at least one way whose partial tag
 // matches b. The caller excludes banks it has already probed.
 func (p *PartialTags) Candidates(b mem.Block) []int {
+	return p.AppendCandidates(nil, b)
+}
+
+// AppendCandidates appends the matching banks to dst and returns it — the
+// allocation-free form of Candidates for callers that reuse a scratch
+// buffer across lookups.
+func (p *PartialTags) AppendCandidates(dst []int, b mem.Block) []int {
 	set := b.SetIndex(p.sets)
 	pt := b.PartialTag(p.sets)
-	var out []int
 	for bank := 0; bank < p.banks; bank++ {
 		for way := 0; way < p.assoc; way++ {
 			idx := p.index(set, bank, way)
 			if p.valid[idx] && p.tags[idx] == pt {
-				out = append(out, bank)
+				dst = append(dst, bank)
 				break
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // MatchesIn reports whether bank has any way matching b's partial tag.

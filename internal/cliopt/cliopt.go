@@ -1,10 +1,16 @@
-// Package cliopt registers the simulation-accelerator flags shared by the
-// run-capable commands (tlcsim, tlcbench, tlcsweep, tlctables): warm-state
-// checkpointing and SMARTS-style sampled execution.
+// Package cliopt registers the simulation-accelerator and observability
+// flags shared by the run-capable commands (tlcsim, tlcbench, tlcsweep,
+// tlctables): warm-state checkpointing, SMARTS-style sampled execution, and
+// full metric-registry dumps.
 package cliopt
 
 import (
+	"encoding/json"
 	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
 
 	"tlc"
 )
@@ -18,10 +24,17 @@ type Flags struct {
 	Sample int
 	// Length is the instructions per detailed interval.
 	Length uint64
+	// Metrics, when non-empty, collects every run's full metric-registry
+	// snapshot and writes them as JSON to this file ("-" for stdout) when
+	// WriteMetrics is called.
+	Metrics string
+
+	mu     sync.Mutex
+	events []tlc.MetricsEvent
 }
 
-// Register installs -ckptdir, -sample, and -samplelen on the default flag
-// set. Call before flag.Parse.
+// Register installs -ckptdir, -sample, -samplelen, and -metrics on the
+// default flag set. Call before flag.Parse.
 func Register() *Flags {
 	f := &Flags{}
 	flag.StringVar(&f.CkptDir, "ckptdir", "",
@@ -30,12 +43,17 @@ func Register() *Flags {
 		"sampled mode: detailed intervals per run (0 = full detailed simulation)")
 	flag.Uint64Var(&f.Length, "samplelen", 2000,
 		"instructions per detailed interval in sampled mode")
+	flag.StringVar(&f.Metrics, "metrics", "",
+		"dump every run's full metric registry as JSON to this file ('-' for stdout)")
 	return f
 }
 
 // Apply wires the parsed flags into opt: a -ckptdir attaches a disk-backed
 // checkpoint store (runs sharing a warm prefix skip warm-up, bit-identically),
-// and -sample/-samplelen select the sampled interval plan.
+// -sample/-samplelen select the sampled interval plan, and -metrics chains a
+// collector onto OnMetrics (a hook already present keeps firing after it).
+// Apply may be called on several Options values (one suite per memory model,
+// say); all their runs collect into the same dump.
 func (f *Flags) Apply(opt *tlc.Options) {
 	if f.CkptDir != "" {
 		opt.Checkpoints = tlc.NewCheckpointStore(0, f.CkptDir)
@@ -44,4 +62,65 @@ func (f *Flags) Apply(opt *tlc.Options) {
 		opt.SampleIntervals = f.Sample
 		opt.SampleLength = f.Length
 	}
+	if f.Metrics != "" {
+		user := opt.OnMetrics
+		opt.OnMetrics = func(ev tlc.MetricsEvent) {
+			f.mu.Lock()
+			f.events = append(f.events, ev)
+			f.mu.Unlock()
+			if user != nil {
+				user(ev)
+			}
+		}
+	}
+}
+
+// runMetricsJSON is the per-run shape of the -metrics dump.
+type runMetricsJSON struct {
+	Design    string              `json:"design"`
+	Benchmark string              `json:"benchmark"`
+	Cycles    uint64              `json:"cycles"`
+	Metrics   tlc.MetricsSnapshot `json:"metrics"`
+}
+
+// WriteMetrics writes the collected snapshots, sorted by (design,
+// benchmark), to the -metrics target. It is a no-op when the flag is unset.
+// Call once, after every run has completed.
+func (f *Flags) WriteMetrics() error {
+	if f.Metrics == "" {
+		return nil
+	}
+	f.mu.Lock()
+	out := make([]runMetricsJSON, 0, len(f.events))
+	for _, ev := range f.events {
+		out = append(out, runMetricsJSON{
+			Design:    ev.Design.String(),
+			Benchmark: ev.Benchmark,
+			Cycles:    ev.Cycles,
+			Metrics:   ev.Snapshot,
+		})
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Design != out[j].Design {
+			return out[i].Design < out[j].Design
+		}
+		return out[i].Benchmark < out[j].Benchmark
+	})
+
+	w := os.Stdout
+	if f.Metrics != "-" {
+		file, err := os.Create(f.Metrics)
+		if err != nil {
+			return fmt.Errorf("cliopt: -metrics: %w", err)
+		}
+		defer file.Close()
+		w = file
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("cliopt: -metrics: %w", err)
+	}
+	return nil
 }

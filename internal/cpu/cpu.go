@@ -18,6 +18,7 @@ import (
 	"tlc/internal/config"
 	"tlc/internal/l2"
 	"tlc/internal/mem"
+	"tlc/internal/metrics"
 	"tlc/internal/sim"
 )
 
@@ -103,6 +104,16 @@ type Core struct {
 	lastRetire  sim.Time
 
 	res Result
+
+	// cum accumulates pipeline-event counters over the whole timing epoch
+	// (res resets on every run/Resume call; these reset with the epoch in
+	// resetTiming), feeding the metrics registry.
+	cum struct {
+		l1dHits, l1dMisses     uint64
+		l2Loads, l2Stores      uint64
+		robStalls, schedStalls uint64
+		mshrWaits, mispredicts uint64
+	}
 }
 
 // New builds a core over the given L2.
@@ -120,6 +131,20 @@ func New(sys config.System, l2c l2.Cache) *Core {
 		// capacity keeps the tracking allocation-free.
 		outstanding: make([]sim.Time, 0, sys.MaxOutstanding),
 	}
+}
+
+// RegisterMetrics publishes the core's pipeline and L1 counters under
+// "cpu.". The counters cover the current timing epoch: they reset with the
+// pipeline in RunFrom, and accumulate across Resume calls.
+func (c *Core) RegisterMetrics(r *metrics.Registry) {
+	r.CounterFunc("cpu.l1d.hits", func() uint64 { return c.cum.l1dHits })
+	r.CounterFunc("cpu.l1d.misses", func() uint64 { return c.cum.l1dMisses })
+	r.CounterFunc("cpu.l2.loads", func() uint64 { return c.cum.l2Loads })
+	r.CounterFunc("cpu.l2.stores", func() uint64 { return c.cum.l2Stores })
+	r.CounterFunc("cpu.rob.stalls", func() uint64 { return c.cum.robStalls })
+	r.CounterFunc("cpu.sched.stalls", func() uint64 { return c.cum.schedStalls })
+	r.CounterFunc("cpu.mshr.waits", func() uint64 { return c.cum.mshrWaits })
+	r.CounterFunc("cpu.fetch.mispredicts", func() uint64 { return c.cum.mispredicts })
 }
 
 // Warm advances the stream n instructions functionally: L1 state and L2
@@ -200,18 +225,21 @@ func (c *Core) run(s Stream, n uint64) Result {
 		if i >= rob {
 			if t := c.retire[i%rob]; t > issue {
 				issue = t
+				c.cum.robStalls++
 			}
 		}
 		// Scheduler availability: instruction i-sched must have issued.
 		if i >= sched {
 			if t := c.issued[i%sched]; t > issue {
 				issue = t
+				c.cum.schedStalls++
 			}
 		}
 		issueAt, complete := c.execute(issue, in)
 		c.issued[i%sched] = issueAt
 		if in.Mispredict {
 			c.fetchPenalty += sim.Time(c.sys.PipelineStages)
+			c.cum.mispredicts++
 		}
 		c.prevComplete = complete
 		// In-order retirement at fetch width.
@@ -253,6 +281,12 @@ func (c *Core) resetTiming() {
 	c.epochBase = 0
 	c.epochInstrs = 0
 	c.lastRetire = 0
+	c.cum = struct {
+		l1dHits, l1dMisses     uint64
+		l2Loads, l2Stores      uint64
+		robStalls, schedStalls uint64
+		mshrWaits, mispredicts uint64
+	}{}
 }
 
 // State is the core's architectural cache state: the L1 array plus its
@@ -318,18 +352,21 @@ func (c *Core) execute(issue sim.Time, in Instr) (issueAt, complete sim.Time) {
 func (c *Core) accessL1(at sim.Time, b mem.Block, store bool) sim.Time {
 	if idx, hit := c.l1.TouchAt(b); hit {
 		c.res.L1DHits++
+		c.cum.l1dHits++
 		if store {
 			c.dirty[idx] = true
 		}
 		return at + c.sys.L1Latency
 	}
 	c.res.L1DMisses++
+	c.cum.l1dMisses++
 	idx, victim, evicted := c.l1.InsertAt(b)
 	if evicted && c.dirty[idx] {
 		// Dirty writeback to the L2 (the TLC "store" path: written
 		// without a tag comparison, fire-and-forget).
 		c.l2.Access(at, mem.Request{Block: victim, Type: mem.Store})
 		c.res.L2Stores++
+		c.cum.l2Stores++
 	}
 	c.dirty[idx] = store
 	if store {
@@ -340,6 +377,7 @@ func (c *Core) accessL1(at sim.Time, b mem.Block, store bool) sim.Time {
 	start := c.mshrAdmit(at)
 	out := c.l2.Access(start, mem.Request{Block: b, Type: mem.Load})
 	c.res.L2Loads++
+	c.cum.l2Loads++
 	c.mshrTrack(out.CompleteAt)
 	return out.CompleteAt
 }
@@ -358,6 +396,7 @@ func (c *Core) mshrAdmit(at sim.Time) sim.Time {
 	if len(c.outstanding) < c.sys.MaxOutstanding {
 		return at
 	}
+	c.cum.mshrWaits++
 	// Wait for the earliest completion, then free that entry.
 	earliest := c.outstanding[0]
 	for _, t := range c.outstanding[1:] {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"tlc/internal/mem"
+	"tlc/internal/metrics"
 	"tlc/internal/sim"
 )
 
@@ -98,6 +99,21 @@ func New(cfg Config) *Memory {
 		m.banks = append(m.banks, row)
 	}
 	return m
+}
+
+// RegisterMetrics publishes the memory system's counters under "dram.":
+// the outcome tallies, the open-row hit-rate gauge, and the per-channel
+// data-bus resources.
+func (m *Memory) RegisterMetrics(r *metrics.Registry) {
+	r.CounterFunc("dram.accesses", func() uint64 { return m.Accesses })
+	r.CounterFunc("dram.rowhits", func() uint64 { return m.RowHits })
+	r.CounterFunc("dram.rowmisses", func() uint64 { return m.RowMisses })
+	r.CounterFunc("dram.rowconflicts", func() uint64 { return m.RowConflicts })
+	r.CounterFunc("dram.refreshes", func() uint64 { return m.Refreshes })
+	r.Gauge("dram.row_hit_rate", func(sim.Time) float64 { return m.RowHitRate() })
+	for ch := range m.bus {
+		r.Resource(fmt.Sprintf("dram.bus%d", ch), &m.bus[ch])
+	}
 }
 
 // route maps a block to (channel, bank, row). Channel and bank interleave

@@ -39,6 +39,14 @@ type Suite struct {
 	mu    sync.Mutex
 	cache map[runKey]*flight
 	m     Metrics
+
+	// runMetrics holds each executed run's full registry snapshot; agg sums
+	// every counter across runs. Both are fed by the OnMetrics hook NewSuite
+	// installs, which fires from RunAll's worker goroutines — s.mu makes the
+	// aggregation race-safe, and cached duplicate runs do not re-fire, so
+	// each (design, benchmark) contributes exactly once.
+	runMetrics map[runKey]tlc.MetricsSnapshot
+	agg        map[string]uint64
 }
 
 // RunEvent describes one completed underlying simulation.
@@ -83,9 +91,58 @@ type runKey struct {
 	bench string
 }
 
-// NewSuite builds a suite with the given run options.
+// NewSuite builds a suite with the given run options. The suite chains its
+// own metrics aggregation onto opt.OnMetrics: every executed run's registry
+// snapshot is retained (RunMetrics) and its counters summed into a
+// grid-wide total (AggregatedCounters); a caller-supplied hook still fires
+// afterwards.
 func NewSuite(opt tlc.Options) *Suite {
-	return &Suite{Opt: opt, cache: make(map[runKey]*flight)}
+	s := &Suite{
+		cache:      make(map[runKey]*flight),
+		runMetrics: make(map[runKey]tlc.MetricsSnapshot),
+		agg:        make(map[string]uint64),
+	}
+	user := opt.OnMetrics
+	opt.OnMetrics = func(ev tlc.MetricsEvent) {
+		s.recordMetrics(ev)
+		if user != nil {
+			user(ev)
+		}
+	}
+	s.Opt = opt
+	return s
+}
+
+// recordMetrics folds one finished run's snapshot into the suite.
+func (s *Suite) recordMetrics(ev tlc.MetricsEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.runMetrics[runKey{ev.Design, ev.Benchmark}] = ev.Snapshot
+	for name, v := range ev.Snapshot.Counters() {
+		s.agg[name] += v
+	}
+}
+
+// RunMetrics returns the full registry snapshot of the (design, benchmark)
+// run, if it has executed. The snapshot is safe to retain and read
+// concurrently with further runs.
+func (s *Suite) RunMetrics(d tlc.Design, bench string) (tlc.MetricsSnapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap, ok := s.runMetrics[runKey{d, bench}]
+	return snap, ok
+}
+
+// AggregatedCounters returns a copy of every counter summed across all
+// executed runs — grid-wide totals like l2.misses or noc.spine.flits.
+func (s *Suite) AggregatedCounters() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.agg))
+	for k, v := range s.agg {
+		out[k] = v
+	}
+	return out
 }
 
 // Default returns a suite at the standard scaled run length.

@@ -14,6 +14,8 @@ package l2
 
 import (
 	"tlc/internal/mem"
+	"tlc/internal/metrics"
+	"tlc/internal/probe"
 	"tlc/internal/sim"
 )
 
@@ -48,6 +50,22 @@ type Cache interface {
 	Warm(b mem.Block)
 	// Contains reports functional residency, for tests and warm-up logic.
 	Contains(b mem.Block) bool
+}
+
+// Instrumented is a Cache wired into the instrumentation spine: it exposes
+// the common access stats and the full metrics registry every layer
+// published into at construction. The harness reports exclusively through
+// this interface — table and figure values are registry reads, never
+// design-specific plumbing.
+type Instrumented interface {
+	Cache
+	// L2Stats exposes the common access bookkeeping.
+	L2Stats() *Stats
+	// Metrics exposes the run's metric registry.
+	Metrics() *metrics.Registry
+	// SetProbe installs (or clears, with nil) event hooks. Designs emit
+	// per-access and per-message events only while hooks are set.
+	SetProbe(*probe.Hooks)
 }
 
 // State is an opaque, design-specific snapshot of a cache's functional

@@ -1,6 +1,7 @@
 package l2
 
 import (
+	"tlc/internal/metrics"
 	"tlc/internal/stats"
 )
 
@@ -24,6 +25,19 @@ type Stats struct {
 // latencies any design here can produce (search chains included).
 func NewStats() Stats {
 	return Stats{Lookup: stats.NewHistogram(512)}
+}
+
+// Register publishes the common L2 counters into the registry under the
+// "l2." prefix. Designs call this from their own metric registration and
+// add their design-specific names alongside.
+func (s *Stats) Register(r *metrics.Registry) {
+	r.Counter("l2.loads", &s.Loads)
+	r.Counter("l2.stores", &s.Stores)
+	r.Counter("l2.hits", &s.Hits)
+	r.Counter("l2.misses", &s.Misses)
+	r.Counter("l2.predictable_lookups", &s.PredictableLookups)
+	r.Counter("l2.banks_touched", &s.BanksTouched)
+	r.Histogram("l2.lookup", s.Lookup)
 }
 
 // Requests reports total requests.

@@ -1,0 +1,62 @@
+package nuca
+
+import (
+	"testing"
+
+	"tlc/internal/l2"
+	"tlc/internal/mem"
+	"tlc/internal/sim"
+)
+
+// TestAccessDoesNotAllocate pins both NUCA designs' Access hot path —
+// including every registered metric's publication — at zero allocations per
+// access. Metric publication is free by construction: layers increment the
+// same plain fields they always did, and the registry reads them lazily
+// through closures registered at build time. This pin is the proof.
+func TestAccessDoesNotAllocate(t *testing.T) {
+	builds := []struct {
+		name string
+		mk   func() l2.Instrumented
+	}{
+		{"SNUCA2", func() l2.Instrumented { return NewSNUCA(testMemLat) }},
+		{"DNUCA", func() l2.Instrumented { return NewDNUCA(testMemLat) }},
+	}
+	for _, tc := range builds {
+		t.Run(tc.name, func(t *testing.T) {
+			c := tc.mk()
+			// Warm a working set and run a burst so reusable buffers reach
+			// steady-state capacity before measuring.
+			blocks := make([]mem.Block, 256)
+			for i := range blocks {
+				blocks[i] = mem.Block(i * 65)
+				c.Warm(blocks[i])
+			}
+			at := sim.Time(0)
+			access := func() {
+				for i, b := range blocks {
+					typ := mem.Load
+					if i%4 == 3 {
+						typ = mem.Store
+					}
+					out := c.Access(at, mem.Request{Block: b, Type: typ})
+					if out.CompleteAt > at {
+						at = out.CompleteAt
+					}
+					at++
+				}
+				// A guaranteed miss exercises the fill and writeback paths.
+				miss := mem.Block(0x7a7a7a + uint64(at))
+				at = c.Access(at, mem.Request{Block: miss, Type: mem.Load}).CompleteAt + 1
+			}
+			// Warm-up bursts, outside the measurement: link and bank
+			// calendars (sim.Resource) grow toward their steady-state
+			// capacity as contention patterns repeat.
+			for i := 0; i < 50; i++ {
+				access()
+			}
+			if allocs := testing.AllocsPerRun(50, access); allocs != 0 {
+				t.Errorf("%s: %.2f allocs per access burst, want 0", tc.name, allocs)
+			}
+		})
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"tlc/internal/config"
 	"tlc/internal/l2"
 	"tlc/internal/mem"
+	"tlc/internal/metrics"
 	"tlc/internal/noc"
+	"tlc/internal/probe"
 	"tlc/internal/sim"
 )
 
@@ -58,6 +60,8 @@ type DNUCA struct {
 	sets  int
 	// lineScratch is the reused buffer for partial-tag resyncs.
 	lineScratch []cache.Line
+	// candScratch is the reused candidate-bank buffer for far searches.
+	candScratch []int
 
 	// Design-specific counters (Table 6).
 	CloseHits  stats64
@@ -66,6 +70,9 @@ type DNUCA struct {
 	FastMisses stats64
 	Searches   stats64
 	Writebacks stats64
+
+	reg   *metrics.Registry
+	hooks *probe.Hooks
 }
 
 // stats64 is a plain counter; a named type keeps the field list readable.
@@ -93,6 +100,7 @@ func NewDNUCA(memLat sim.Time) *DNUCA {
 		mesh:   noc.New(p.Mesh),
 		memory: l2.FlatMemory{Latency: memLat},
 		sets:   p.BankBytes / mem.BlockBytes / p.BankAssoc,
+		reg:    metrics.New(),
 	}
 	for c := 0; c < p.Mesh.Cols; c++ {
 		col := make([]*cache.Bank, p.Mesh.Rows)
@@ -102,7 +110,29 @@ func NewDNUCA(memLat sim.Time) *DNUCA {
 		d.banks = append(d.banks, col)
 		d.ptags = append(d.ptags, cache.NewPartialTags(d.sets, p.Mesh.Rows, p.BankAssoc))
 	}
+	d.Stats.Register(d.reg)
+	// stats64.Value has a value receiver, so a method value would capture a
+	// zero copy at registration; closures read the live fields.
+	d.reg.CounterFunc("l2.close_hits", func() uint64 { return uint64(d.CloseHits) })
+	d.reg.CounterFunc("l2.promotions", func() uint64 { return uint64(d.Promotions) })
+	d.reg.CounterFunc("l2.insertions", func() uint64 { return uint64(d.Insertions) })
+	d.reg.CounterFunc("l2.fast_misses", func() uint64 { return uint64(d.FastMisses) })
+	d.reg.CounterFunc("l2.searches", func() uint64 { return uint64(d.Searches) })
+	d.reg.CounterFunc("l2.writebacks", func() uint64 { return uint64(d.Writebacks) })
+	d.reg.CounterFunc("l2.bank_busy_cycles", func() uint64 { return uint64(d.BankBusyCycles()) })
+	d.reg.Gauge("l2.close_hit_pct", func(sim.Time) float64 { return d.CloseHitPct() })
+	d.reg.Gauge("l2.promotes_per_insert", func(sim.Time) float64 { return d.PromotesPerInsert() })
+	d.mesh.RegisterMetrics(d.reg)
 	return d
+}
+
+// Metrics implements l2.Instrumented.
+func (d *DNUCA) Metrics() *metrics.Registry { return d.reg }
+
+// SetProbe implements l2.Instrumented: hooks propagate to the mesh.
+func (d *DNUCA) SetProbe(h *probe.Hooks) {
+	d.hooks = h
+	d.mesh.SetProbe(h)
 }
 
 // Mesh exposes the interconnect for power/utilization accounting.
@@ -187,13 +217,22 @@ func (d *DNUCA) NominalRange() (min, max sim.Time) {
 	return min, max
 }
 
+// emitAccess publishes one access outcome to the probe hooks, if set.
+func (d *DNUCA) emitAccess(at sim.Time, b mem.Block, store, hit bool, latency uint64, banks int) {
+	if h := d.hooks; h != nil && h.OnAccess != nil {
+		h.OnAccess(probe.AccessEvent{At: at, Block: b, Store: store, Hit: hit, Latency: latency, Banks: banks})
+	}
+}
+
 // Access implements l2.Cache.
 func (d *DNUCA) Access(at sim.Time, req mem.Request) l2.Outcome {
 	col := d.colOf(req.Block)
 	local := d.local(req.Block)
 
 	if req.Type == mem.Store {
-		return d.store(at, col, local)
+		out := d.store(at, col, local)
+		d.emitAccess(at, req.Block, true, out.Hit, 0, out.BanksAccessed)
+		return out
 	}
 
 	// Probe the two closest banks and the partial tags in parallel. The
@@ -237,23 +276,30 @@ func (d *DNUCA) Access(at sim.Time, req mem.Request) l2.Outcome {
 			d.promote(resolve, col, actualRow, local)
 		}
 		d.RecordLoad(uint64(resolve-at), true, predictable, closeRows)
+		d.emitAccess(at, req.Block, false, true, uint64(resolve-at), closeRows)
 		return l2.Outcome{Hit: true, ResolveAt: resolve, CompleteAt: resolve, Predictable: predictable, BanksAccessed: closeRows}
 	}
 
 	// Partial tags name the remaining candidates; without them, every
-	// remaining bank of the bank set must be searched.
-	var cands []int
+	// remaining bank of the bank set must be searched. The scratch buffer
+	// lives on the struct so steady-state searches allocate nothing; it is
+	// dead once Access returns.
+	cands := d.candScratch[:0]
 	if d.Abl.DisablePartialTags {
 		for r := closeRows; r < d.p.Mesh.Rows; r++ {
 			cands = append(cands, r)
 		}
 	} else {
-		for _, bank := range d.ptags[col].Candidates(local) {
+		// Filter in place: cands re-uses all's backing array, and the write
+		// index never passes the read index.
+		all := d.ptags[col].AppendCandidates(cands, local)
+		for _, bank := range all {
 			if bank >= closeRows {
 				cands = append(cands, bank)
 			}
 		}
 	}
+	d.candScratch = cands[:0]
 
 	if len(cands) == 0 {
 		// Fast miss: nothing beyond the close banks can match; declared
@@ -270,6 +316,7 @@ func (d *DNUCA) Access(at sim.Time, req mem.Request) l2.Outcome {
 		complete := d.memory.Fetch(resolve, req.Block)
 		d.fill(complete, col, local)
 		d.RecordLoad(uint64(resolve-at), false, predictable, closeRows)
+		d.emitAccess(at, req.Block, false, false, uint64(resolve-at), closeRows)
 		return l2.Outcome{Hit: false, ResolveAt: resolve, CompleteAt: complete, Predictable: predictable, BanksAccessed: closeRows}
 	}
 
@@ -311,11 +358,13 @@ func (d *DNUCA) Access(at sim.Time, req mem.Request) l2.Outcome {
 			d.promote(resolve, col, actualRow, local)
 		}
 		d.RecordLoad(uint64(resolve-at), true, false, banksTouched)
+		d.emitAccess(at, req.Block, false, true, uint64(resolve-at), banksTouched)
 		return l2.Outcome{Hit: true, ResolveAt: resolve, CompleteAt: resolve, BanksAccessed: banksTouched}
 	}
 	complete := d.memory.Fetch(resolve, req.Block)
 	d.fill(complete, col, local)
 	d.RecordLoad(uint64(resolve-at), false, false, banksTouched)
+	d.emitAccess(at, req.Block, false, false, uint64(resolve-at), banksTouched)
 	return l2.Outcome{Hit: false, ResolveAt: resolve, CompleteAt: complete, BanksAccessed: banksTouched}
 }
 

@@ -10,7 +10,9 @@ import (
 	"tlc/internal/config"
 	"tlc/internal/l2"
 	"tlc/internal/mem"
+	"tlc/internal/metrics"
 	"tlc/internal/noc"
+	"tlc/internal/probe"
 	"tlc/internal/sim"
 )
 
@@ -33,6 +35,9 @@ type SNUCA struct {
 
 	// Writebacks counts victim blocks sent back toward memory.
 	Writebacks uint64
+
+	reg   *metrics.Registry
+	hooks *probe.Hooks
 }
 
 // NewSNUCA builds the SNUCA2 design with the given memory latency.
@@ -43,12 +48,26 @@ func NewSNUCA(memLat sim.Time) *SNUCA {
 		p:      p,
 		mesh:   noc.New(p.Mesh),
 		memory: l2.FlatMemory{Latency: memLat},
+		reg:    metrics.New(),
 	}
 	sets := p.BankBytes / mem.BlockBytes / p.BankAssoc
 	for i := 0; i < p.Banks; i++ {
 		s.banks = append(s.banks, cache.NewBank(sets, p.BankAssoc, p.BankAccess))
 	}
+	s.Stats.Register(s.reg)
+	s.reg.CounterFunc("l2.writebacks", func() uint64 { return s.Writebacks })
+	s.reg.CounterFunc("l2.bank_busy_cycles", func() uint64 { return uint64(s.BankBusyCycles()) })
+	s.mesh.RegisterMetrics(s.reg)
 	return s
+}
+
+// Metrics implements l2.Instrumented.
+func (s *SNUCA) Metrics() *metrics.Registry { return s.reg }
+
+// SetProbe implements l2.Instrumented: hooks propagate to the mesh.
+func (s *SNUCA) SetProbe(h *probe.Hooks) {
+	s.hooks = h
+	s.mesh.SetProbe(h)
 }
 
 // Mesh exposes the interconnect for power/utilization accounting.
@@ -122,6 +141,9 @@ func (s *SNUCA) Access(at sim.Time, req mem.Request) l2.Outcome {
 			s.writeback(done, col, row, victim, idx)
 		}
 		s.RecordStore(present, 1)
+		if h := s.hooks; h != nil && h.OnAccess != nil {
+			h.OnAccess(probe.AccessEvent{At: at, Block: req.Block, Store: true, Hit: present, Banks: 1})
+		}
 		return l2.Outcome{Hit: present, ResolveAt: at, CompleteAt: at, Predictable: true, BanksAccessed: 1}
 	}
 
@@ -141,6 +163,9 @@ func (s *SNUCA) Access(at sim.Time, req mem.Request) l2.Outcome {
 		s.fill(out.CompleteAt, req.Block)
 	}
 	s.RecordLoad(uint64(resolve-at), hit, predictable, 1)
+	if h := s.hooks; h != nil && h.OnAccess != nil {
+		h.OnAccess(probe.AccessEvent{At: at, Block: req.Block, Hit: hit, Latency: uint64(resolve - at), Banks: 1})
+	}
 	return out
 }
 

@@ -1,0 +1,95 @@
+// Package probe is the event-level companion to the metrics registry:
+// where metrics aggregate, probes expose the individual events — one
+// callback per L2 access, one per interconnect message — for tracing,
+// validation, and ad-hoc analysis (the "internal event stream" visibility
+// Zhang et al. argue simplified models need).
+//
+// Hooks are nil by default and checked at every emission site, so an
+// uninstrumented run pays two loads and two compares per potential event
+// and allocates nothing. Callbacks receive events by value; a callback
+// that retains or allocates pays for it itself.
+package probe
+
+import (
+	"tlc/internal/mem"
+	"tlc/internal/sim"
+)
+
+// AccessEvent is one L2 access outcome, emitted by every cache design as
+// the access resolves.
+type AccessEvent struct {
+	// At is the cycle the request arrived at the controller.
+	At sim.Time
+	// Block is the 64-byte block accessed.
+	Block mem.Block
+	// Store marks writes (fire-and-forget; Latency is 0).
+	Store bool
+	// Hit reports residency.
+	Hit bool
+	// Latency is the lookup resolution latency in cycles (loads).
+	Latency uint64
+	// Banks is the number of data banks the access touched.
+	Banks int
+}
+
+// MessageKind classifies interconnect traffic.
+type MessageKind uint8
+
+const (
+	// Request is controller-to-bank command traffic.
+	Request MessageKind = iota
+	// Response is bank-to-controller reply traffic.
+	Response
+	// Migration is bank-to-bank block movement (DNUCA promotion swaps).
+	Migration
+	// Writeback is evicted-block traffic headed to memory.
+	Writeback
+	// Fill is memory-fill data headed into the cache.
+	Fill
+)
+
+// String names the kind for traces and logs.
+func (k MessageKind) String() string {
+	switch k {
+	case Request:
+		return "request"
+	case Response:
+		return "response"
+	case Migration:
+		return "migration"
+	case Writeback:
+		return "writeback"
+	case Fill:
+		return "fill"
+	default:
+		return "unknown"
+	}
+}
+
+// MessageEvent is one interconnect transfer: a routed mesh message or a
+// transmission-line exchange.
+type MessageEvent struct {
+	// At is the cycle the message entered the network.
+	At sim.Time
+	// Kind classifies the traffic.
+	Kind MessageKind
+	// Bytes is the payload size.
+	Bytes int
+}
+
+// Hooks is the set of optional event callbacks a model emits into. A nil
+// *Hooks (or a nil individual callback) disables emission at that site.
+// Emission sites guard explicitly:
+//
+//	if h := m.hooks; h != nil && h.OnMessage != nil {
+//		h.OnMessage(probe.MessageEvent{...})
+//	}
+//
+// so the unset case compiles down to nil-checks with no event
+// construction.
+type Hooks struct {
+	// OnAccess observes every L2 access outcome.
+	OnAccess func(AccessEvent)
+	// OnMessage observes every interconnect message.
+	OnMessage func(MessageEvent)
+}

@@ -1,0 +1,43 @@
+package probe
+
+import "testing"
+
+func TestMessageKindStrings(t *testing.T) {
+	want := map[MessageKind]string{
+		Request:   "request",
+		Response:  "response",
+		Migration: "migration",
+		Writeback: "writeback",
+		Fill:      "fill",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("MessageKind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if got := MessageKind(99).String(); got == "" {
+		t.Error("out-of-range MessageKind stringifies to empty")
+	}
+}
+
+// TestEmissionIdiom documents the nil-check pattern every layer uses: a nil
+// Hooks or a nil callback must cost only the check, and a set callback must
+// receive the event. The pattern under test is
+//
+//	if h := hooks; h != nil && h.OnAccess != nil { h.OnAccess(ev) }
+func TestEmissionIdiom(t *testing.T) {
+	emit := func(h *Hooks, ev AccessEvent) {
+		if h != nil && h.OnAccess != nil {
+			h.OnAccess(ev)
+		}
+	}
+
+	emit(nil, AccessEvent{})      // nil hooks: no panic
+	emit(&Hooks{}, AccessEvent{}) // hooks without OnAccess: no panic
+	var got []AccessEvent
+	h := &Hooks{OnAccess: func(ev AccessEvent) { got = append(got, ev) }}
+	emit(h, AccessEvent{Block: 42, Store: true, Hit: true, Banks: 3})
+	if len(got) != 1 || got[0].Block != 42 || !got[0].Store || !got[0].Hit || got[0].Banks != 3 {
+		t.Fatalf("callback saw %+v", got)
+	}
+}

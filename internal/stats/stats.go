@@ -131,7 +131,13 @@ func (h *Histogram) CountOf(v uint64) uint64 {
 	return 0
 }
 
-// CountAtMost reports how many samples were <= v.
+// CountAtMost reports how many samples were <= v. Overflow samples (values
+// at or above the bucket cap) are tracked only in aggregate, so they are
+// counted once v reaches the observed maximum — every sample is <= Max by
+// definition. For cap <= v < Max the overflow samples' individual values
+// are unknown and none are counted, making the result an exact lower bound
+// that is monotone in v and exact at both extremes:
+// CountAtMost(Max()) == Count().
 func (h *Histogram) CountAtMost(v uint64) uint64 {
 	var n uint64
 	limit := v
@@ -141,15 +147,18 @@ func (h *Histogram) CountAtMost(v uint64) uint64 {
 	for i := uint64(0); i <= limit; i++ {
 		n += h.buckets[i]
 	}
+	if v >= h.max {
+		n += h.overflow
+	}
 	return n
 }
 
-// Percentile reports the smallest in-range value v such that at least
-// p (0..1) of the samples are <= v. p is clamped to [0,1] (and NaN treated
-// as 0), so an out-of-range p degrades to the min or max percentile rather
-// than silently walking past the distribution into the overflow cap.
-// Overflow samples count as larger than every bucket; if the percentile
-// lands in the overflow region the cap-1 value is returned.
+// Percentile reports the smallest value v such that at least p (0..1) of
+// the samples are <= v. p is clamped to [0,1] (and NaN treated as 0), so an
+// out-of-range p degrades to the min or max percentile. Overflow samples
+// count as larger than every bucket; when the percentile lands among them
+// their individual values are unknown and the observed maximum — the
+// tightest correct upper bound — is reported.
 func (h *Histogram) Percentile(p float64) uint64 {
 	if h.count == 0 {
 		return 0
@@ -170,7 +179,7 @@ func (h *Histogram) Percentile(p float64) uint64 {
 			return uint64(v)
 		}
 	}
-	return uint64(len(h.buckets) - 1)
+	return h.max
 }
 
 // StdDev reports the sample standard deviation. Overflow samples fold in

@@ -252,11 +252,78 @@ func TestPercentileClampsP(t *testing.T) {
 		{"p>1 equals p=1", spread, 1.5, 10},
 		{"median unaffected", spread, 0.5, 5},
 		{"p=0 reports min", spread, 0, 1},
-		{"p>1 with overflow still caps", withOverflow, 7.0, 9},
+		{"p>1 with overflow reports observed max", withOverflow, 7.0, 50},
 	}
 	for _, c := range cases {
 		if got := c.h.Percentile(c.p); got != c.want {
 			t.Errorf("%s: Percentile(%v) = %d, want %d", c.name, c.p, got, c.want)
+		}
+	}
+}
+
+func TestCountAtMostIncludesOverflow(t *testing.T) {
+	// Samples 2, 50, 80 with cap 10: 50 and 80 land in the overflow bucket.
+	// CountAtMost used to drop them entirely, so CountAtMost(Max()) < Count().
+	h := NewHistogram(10)
+	h.Observe(2)
+	h.Observe(50)
+	h.Observe(80)
+
+	cases := []struct {
+		v    uint64
+		want uint64
+	}{
+		{1, 0},   // below the only in-range sample
+		{2, 1},   // exact in-range count
+		{9, 1},   // top in-range bucket: overflow values unknown, excluded
+		{50, 1},  // cap <= v < max: still a lower bound, overflow excluded
+		{79, 1},  // one below max
+		{80, 3},  // at the observed max every sample qualifies
+		{100, 3}, // beyond max
+	}
+	for _, c := range cases {
+		if got := h.CountAtMost(c.v); got != c.want {
+			t.Errorf("CountAtMost(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if h.CountAtMost(h.Max()) != h.Count() {
+		t.Error("CountAtMost(Max()) must equal Count() even with overflow")
+	}
+}
+
+func TestCountAtMostAllOverflow(t *testing.T) {
+	h := NewHistogram(4)
+	h.Observe(100)
+	h.Observe(200)
+	if got := h.CountAtMost(99); got != 0 {
+		t.Errorf("CountAtMost(99) = %d, want 0", got)
+	}
+	if got := h.CountAtMost(200); got != 2 {
+		t.Errorf("CountAtMost(200) = %d, want 2", got)
+	}
+}
+
+func TestPercentileReachesOverflow(t *testing.T) {
+	// Samples 2 and 50 with cap 10: the median is the in-range 2, but any
+	// percentile past it lands among overflow samples and must report the
+	// observed max (50), not the cap-1 value (9) the old code returned.
+	h := NewHistogram(10)
+	h.Observe(2)
+	h.Observe(50)
+	if got := h.Percentile(0.5); got != 2 {
+		t.Errorf("p50 = %d, want 2", got)
+	}
+	if got := h.Percentile(1.0); got != 50 {
+		t.Errorf("p100 = %d, want 50 (the overflowed sample)", got)
+	}
+
+	// All samples overflowed: every percentile is in overflow territory.
+	h2 := NewHistogram(4)
+	h2.Observe(70)
+	h2.Observe(90)
+	for _, p := range []float64{0.01, 0.5, 1.0} {
+		if got := h2.Percentile(p); got != 90 {
+			t.Errorf("all-overflow Percentile(%v) = %d, want 90", p, got)
 		}
 	}
 }

@@ -25,6 +25,8 @@ import (
 	"tlc/internal/config"
 	"tlc/internal/l2"
 	"tlc/internal/mem"
+	"tlc/internal/metrics"
+	"tlc/internal/probe"
 	"tlc/internal/sim"
 	"tlc/internal/tline"
 )
@@ -84,6 +86,9 @@ type Cache struct {
 	Writebacks uint64
 	// FillsApplied counts memory fills installed.
 	FillsApplied uint64
+
+	reg   *metrics.Registry
+	hooks *probe.Hooks
 }
 
 // eccUncorrectable aliases the codec's verdict for the retry loop.
@@ -127,8 +132,38 @@ func New(d config.Design, memLat sim.Time) *Cache {
 			ctrlResp: c.ctrlResp(pr),
 		})
 	}
+	c.reg = metrics.New()
+	c.Stats.Register(c.reg)
+	c.reg.CounterFunc("tl.multi_matches", func() uint64 { return c.MultiMatches })
+	c.reg.CounterFunc("ecc.corrections", func() uint64 { return c.ECCCorrections })
+	c.reg.CounterFunc("ecc.retries", func() uint64 { return c.ECCRetries })
+	c.reg.CounterFunc("l2.writebacks", func() uint64 { return c.Writebacks })
+	c.reg.CounterFunc("l2.fills", func() uint64 { return c.FillsApplied })
+	c.reg.CounterFunc("l2.bank_busy_cycles", func() uint64 { return uint64(c.BankBusyCycles()) })
+	c.reg.CounterFunc("tl.down_flits", func() uint64 {
+		var n uint64
+		for _, pr := range c.pairs {
+			n += pr.downFlits
+		}
+		return n
+	})
+	c.reg.CounterFunc("tl.up_flits", func() uint64 {
+		var n uint64
+		for _, pr := range c.pairs {
+			n += pr.upFlits
+		}
+		return n
+	})
+	c.reg.Gauge("tl.link_utilization", func(now sim.Time) float64 { return c.LinkUtilization(now) })
+	c.reg.Gauge("tl.energy_j", func(sim.Time) float64 { return c.NetworkEnergyJ() })
 	return c
 }
+
+// Metrics implements l2.Instrumented.
+func (c *Cache) Metrics() *metrics.Registry { return c.reg }
+
+// SetProbe implements l2.Instrumented.
+func (c *Cache) SetProbe(h *probe.Hooks) { c.hooks = h }
 
 // ctrlReq spreads the controller-internal request-path wire delay across
 // pairs by landing position: the base design's wide controller costs up to
@@ -248,6 +283,9 @@ func (c *Cache) Access(at sim.Time, req mem.Request) l2.Outcome {
 		present := c.groups[g].Lookup(local)
 		c.write(at, g, local)
 		c.RecordStore(present, c.p.BanksPerBlock)
+		if h := c.hooks; h != nil && h.OnAccess != nil {
+			h.OnAccess(probe.AccessEvent{At: at, Block: req.Block, Store: true, Hit: present, Banks: c.p.BanksPerBlock})
+		}
 		return l2.Outcome{Hit: present, ResolveAt: at, CompleteAt: at, Predictable: true, BanksAccessed: c.p.BanksPerBlock}
 	}
 
@@ -297,6 +335,9 @@ func (c *Cache) Access(at sim.Time, req mem.Request) l2.Outcome {
 		c.fill(out.CompleteAt, g, local)
 	}
 	c.RecordLoad(uint64(resolve-at), hit, predictable, c.p.BanksPerBlock)
+	if h := c.hooks; h != nil && h.OnAccess != nil {
+		h.OnAccess(probe.AccessEvent{At: at, Block: req.Block, Hit: hit, Latency: uint64(resolve - at), Banks: c.p.BanksPerBlock})
+	}
 	return out
 }
 

@@ -18,6 +18,7 @@ import (
 	"tlc/internal/cpu"
 	"tlc/internal/l2"
 	"tlc/internal/mem"
+	"tlc/internal/metrics"
 )
 
 // Region sizes are expressed in 64-byte blocks.
@@ -98,6 +99,15 @@ type Generator struct {
 
 	// memCredit implements the deterministic memory-op density.
 	memCredit float64
+
+	// counters tallies emitted instructions by class and referenced blocks
+	// by footprint region. They are observation-only: not part of State
+	// (the stream is unaffected by them) and reset at the start of every
+	// timed interval so a restored checkpoint counts only what it runs.
+	counters struct {
+		memOps, stores, mispredicts                       uint64
+		l1Refs, hotRefs, streamRefs, recentRefs, coldRefs uint64
+	}
 }
 
 // New builds a deterministic generator for the spec with the given seed.
@@ -173,6 +183,29 @@ func (g *Generator) SetState(st State) {
 	g.memCredit = st.MemCredit
 }
 
+// ResetCounters zeroes the observation counters. The harness calls this at
+// the start of the timed interval so warm-up traffic (or the run that
+// produced a restored checkpoint) is excluded.
+func (g *Generator) ResetCounters() {
+	g.counters = struct {
+		memOps, stores, mispredicts                       uint64
+		l1Refs, hotRefs, streamRefs, recentRefs, coldRefs uint64
+	}{}
+}
+
+// RegisterMetrics publishes the generator's instruction-stream counters
+// under "workload.".
+func (g *Generator) RegisterMetrics(r *metrics.Registry) {
+	r.CounterFunc("workload.mem_ops", func() uint64 { return g.counters.memOps })
+	r.CounterFunc("workload.stores", func() uint64 { return g.counters.stores })
+	r.CounterFunc("workload.mispredicts", func() uint64 { return g.counters.mispredicts })
+	r.CounterFunc("workload.l1_refs", func() uint64 { return g.counters.l1Refs })
+	r.CounterFunc("workload.hot_refs", func() uint64 { return g.counters.hotRefs })
+	r.CounterFunc("workload.stream_refs", func() uint64 { return g.counters.streamRefs })
+	r.CounterFunc("workload.recent_refs", func() uint64 { return g.counters.recentRefs })
+	r.CounterFunc("workload.cold_refs", func() uint64 { return g.counters.coldRefs })
+}
+
 // Reseed replaces the random source with a freshly seeded one while keeping
 // the phase variables (stream position, working-set window). A seed sweep
 // over the timed interval reseeds after warm-up: every seed then measures
@@ -198,6 +231,7 @@ func (g *Generator) Next() cpu.Instr {
 		}
 		if g.rng.Intn(every) == 0 {
 			in.Mispredict = true
+			g.counters.mispredicts++
 		}
 		return in
 	}
@@ -205,6 +239,10 @@ func (g *Generator) Next() cpu.Instr {
 	blk := g.nextBlock()
 	isStore := g.rng.Float64() < g.spec.StoreFrac
 	dep := !isStore && g.rng.Float64() < g.spec.DepFrac
+	g.counters.memOps++
+	if isStore {
+		g.counters.stores++
+	}
 	return cpu.Instr{IsMem: true, IsStore: isStore, Block: blk, Dep: dep}
 }
 
@@ -235,10 +273,13 @@ func (g *Generator) nextBlock() mem.Block {
 	r := g.rng.Float64()
 	switch {
 	case r < g.spec.L1Frac:
+		g.counters.l1Refs++
 		return layout(g.l1Base + uint64(g.rng.Int63n(int64(g.l1Blocks))))
 	case r < g.spec.L1Frac+g.spec.HotFrac:
+		g.counters.hotRefs++
 		return layout(g.hotBase + g.skewed(g.hotBlocks))
 	case r < g.spec.L1Frac+g.spec.HotFrac+g.spec.StreamFrac:
+		g.counters.streamRefs++
 		if g.streamLeft <= 0 {
 			g.streamPtr = (g.streamPtr + 1) % g.coldBlocks
 			repeat := g.spec.StreamRepeat
@@ -250,6 +291,7 @@ func (g *Generator) nextBlock() mem.Block {
 		g.streamLeft--
 		return layout(g.coldBase + g.streamPtr)
 	case r < g.spec.L1Frac+g.spec.HotFrac+g.spec.StreamFrac+g.spec.RecentFrac:
+		g.counters.recentRefs++
 		// Revisit a block streamed 1K-16K blocks ago: evicted from the
 		// 64 KB L1 (1K blocks) but still in the L2.
 		delta := uint64(1024 + g.rng.Int63n(15*1024))
@@ -258,6 +300,7 @@ func (g *Generator) nextBlock() mem.Block {
 		}
 		return layout(g.coldBase + (g.streamPtr+g.coldBlocks-delta)%g.coldBlocks)
 	default:
+		g.counters.coldRefs++
 		if g.spec.ColdWindowMB > 0 {
 			return layout(g.coldBase + g.windowRef())
 		}

@@ -15,17 +15,22 @@
 package tlc
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash"
 	"hash/fnv"
+	"math"
 
 	"tlc/internal/area"
 	"tlc/internal/config"
 	"tlc/internal/cpu"
 	"tlc/internal/dram"
 	"tlc/internal/l2"
+	"tlc/internal/metrics"
 	"tlc/internal/noc"
 	"tlc/internal/nuca"
 	"tlc/internal/power"
+	"tlc/internal/probe"
 	"tlc/internal/sample"
 	"tlc/internal/sim"
 	"tlc/internal/snapshot"
@@ -102,6 +107,37 @@ type Options struct {
 	// SampleLength is the detailed instructions per interval (used only
 	// when SampleIntervals > 0).
 	SampleLength uint64
+
+	// OnMetrics, when set, receives the run's full metric-registry
+	// snapshot after timing finishes — every counter, gauge, and histogram
+	// each simulation layer registered, far beyond the fields Result
+	// carries. It fires once per executed run (a Suite's cached duplicate
+	// runs reuse the original's snapshot without re-firing).
+	OnMetrics func(MetricsEvent)
+
+	// Probe, when non-nil, installs per-event callbacks on the design
+	// under test: one per L2 access and one per interconnect message. Unset
+	// hooks cost nil-checks only; see internal/probe.
+	Probe *probe.Hooks
+}
+
+// MetricsSnapshot is a point-in-time reading of a run's full metric
+// registry, sorted by name.
+type MetricsSnapshot = metrics.Snapshot
+
+// ProbeHooks is the per-event callback set Options.Probe installs.
+type ProbeHooks = probe.Hooks
+
+// MetricsEvent delivers one finished run's metrics to Options.OnMetrics.
+type MetricsEvent struct {
+	Design    Design
+	Benchmark string
+	// Cycles is the simulated clock the gauges were evaluated at: the
+	// run's final cycle (detailed-window span in sampled mode).
+	Cycles uint64
+	// Snapshot holds every registered metric. It shares no state with the
+	// finished run and is safe to retain.
+	Snapshot MetricsSnapshot
 }
 
 // SampleOptions projects the sampling fields.
@@ -160,49 +196,38 @@ type Result struct {
 	ECCRetries     uint64
 }
 
-// instance couples a design implementation with its design-specific
-// reporting hooks.
-type instance struct {
-	cache l2.Cache
-	stats func() *l2.Stats
-	// finish folds design-specific metrics into the result after the run.
-	finish func(res *Result, cycles sim.Time)
-}
-
-// build instantiates a design.
-func build(d Design, opt Options) instance {
+// build instantiates a design wired into the instrumentation spine. Every
+// design registers its layer counters at construction; build adds the
+// cross-layer roll-ups that live above the design packages (network power
+// imports both cache families, so its gauge registers here) and the
+// optional DRAM substrate. All reporting below reads the returned
+// registry — there is exactly one way to add a metric.
+func build(d Design, opt Options) l2.Instrumented {
 	sys := config.DefaultSystem()
-	var memory l2.Memory
+	var memory *dram.Memory
 	if opt.UseDRAM {
 		memory = dram.New(dram.Default())
 	}
+	var inst l2.Instrumented
 	switch d {
 	case config.SNUCA2:
 		s := nuca.NewSNUCA(sys.MemoryLatency)
 		if memory != nil {
 			s.SetMemory(memory)
 		}
-		return instance{
-			cache: s,
-			stats: s.L2Stats,
-			finish: func(res *Result, cycles sim.Time) {
-				res.NetworkPowerW = power.MeshDynamicPowerW(s.Mesh(), cycles)
-			},
-		}
+		s.Metrics().Gauge("power.network_w", func(now sim.Time) float64 {
+			return power.MeshDynamicPowerW(s.Mesh(), now)
+		})
+		inst = s
 	case config.DNUCA:
 		dn := nuca.NewDNUCA(sys.MemoryLatency)
 		if memory != nil {
 			dn.SetMemory(memory)
 		}
-		return instance{
-			cache: dn,
-			stats: dn.L2Stats,
-			finish: func(res *Result, cycles sim.Time) {
-				res.NetworkPowerW = power.MeshDynamicPowerW(dn.Mesh(), cycles)
-				res.CloseHitPct = dn.CloseHitPct()
-				res.PromotesPerInsert = dn.PromotesPerInsert()
-			},
-		}
+		dn.Metrics().Gauge("power.network_w", func(now sim.Time) float64 {
+			return power.MeshDynamicPowerW(dn.Mesh(), now)
+		})
+		inst = dn
 	default:
 		tc := tlcache.New(d, sys.MemoryLatency)
 		if memory != nil {
@@ -211,17 +236,18 @@ func build(d Design, opt Options) instance {
 		if opt.BitErrorRate > 0 {
 			tc.SetNoise(opt.BitErrorRate)
 		}
-		return instance{
-			cache: tc,
-			stats: tc.L2Stats,
-			finish: func(res *Result, cycles sim.Time) {
-				res.NetworkPowerW = power.TLCDynamicPowerW(tc, cycles)
-				res.LinkUtilization = tc.LinkUtilization(cycles)
-				res.ECCCorrections = tc.ECCCorrections
-				res.ECCRetries = tc.ECCRetries
-			},
-		}
+		tc.Metrics().Gauge("power.network_w", func(now sim.Time) float64 {
+			return power.TLCDynamicPowerW(tc, now)
+		})
+		inst = tc
 	}
+	if memory != nil {
+		memory.RegisterMetrics(inst.Metrics())
+	}
+	if opt.Probe != nil {
+		inst.SetProbe(opt.Probe)
+	}
+	return inst
 }
 
 // Run simulates one benchmark on one design. With SampleIntervals set it
@@ -240,27 +266,184 @@ func Run(d Design, benchmark string, opt Options) (Result, error) {
 // miss instead of restoring garbage.
 const checkpointFormat = 1
 
+// keyHasher folds checkpoint-key fields into an FNV hash with explicit,
+// typed encoding: every value is written as a fixed-width little-endian
+// record (strings and slices length-prefixed), so the key depends only on
+// the values deliberately encoded — unlike %+v formatting, whose output
+// silently shifts when fields are added, reordered, or retyped, aliasing
+// distinct configurations or (worse) keeping stale keys valid.
+type keyHasher struct {
+	h   hash.Hash64
+	buf [8]byte
+}
+
+func newKeyHasher() *keyHasher { return &keyHasher{h: fnv.New64a()} }
+
+func (k *keyHasher) u64(v uint64) {
+	binary.LittleEndian.PutUint64(k.buf[:], v)
+	k.h.Write(k.buf[:])
+}
+
+func (k *keyHasher) i(v int)      { k.u64(uint64(int64(v))) }
+func (k *keyHasher) t(v sim.Time) { k.u64(uint64(v)) }
+func (k *keyHasher) f(v float64)  { k.u64(math.Float64bits(v)) }
+func (k *keyHasher) b(v bool) {
+	if v {
+		k.u64(1)
+	} else {
+		k.u64(0)
+	}
+}
+
+func (k *keyHasher) str(s string) {
+	k.u64(uint64(len(s)))
+	k.h.Write([]byte(s))
+}
+
+func (k *keyHasher) ints(v []int) {
+	k.u64(uint64(len(v)))
+	for _, x := range v {
+		k.i(x)
+	}
+}
+
+func (k *keyHasher) times(v []sim.Time) {
+	k.u64(uint64(len(v)))
+	for _, x := range v {
+		k.t(x)
+	}
+}
+
+func (k *keyHasher) sum() string { return fmt.Sprintf("%016x", k.h.Sum64()) }
+
+// system folds every Table 3 machine parameter.
+func (k *keyHasher) system(s config.System) {
+	k.i(s.L1Bytes)
+	k.i(s.L1Assoc)
+	k.t(s.L1Latency)
+	k.i(s.L2Bytes)
+	k.i(s.L2Assoc)
+	k.t(s.MemoryLatency)
+	k.i(s.MaxOutstanding)
+	k.i(s.ROBEntries)
+	k.i(s.SchedulerEntries)
+	k.i(s.FetchWidth)
+	k.i(s.PipelineStages)
+}
+
+// spec folds every workload parameter.
+func (k *keyHasher) spec(s workload.Spec) {
+	k.str(s.Name)
+	k.f(s.FootprintMB)
+	k.f(s.L1MB)
+	k.f(s.L1Frac)
+	k.f(s.HotMB)
+	k.f(s.HotFrac)
+	k.i(s.HotSkew)
+	k.f(s.StreamFrac)
+	k.i(s.StreamRepeat)
+	k.i(s.ColdSkew)
+	k.f(s.ColdWindowMB)
+	k.f(s.ColdTurnover)
+	k.f(s.RecentFrac)
+	k.f(s.StoreFrac)
+	k.f(s.MemFrac)
+	k.f(s.DepFrac)
+	k.f(s.SerialFrac)
+	k.i(s.MispredictEvery)
+}
+
+// mesh folds a NUCA floorplan.
+func (k *keyHasher) mesh(c noc.Config) {
+	k.i(c.Cols)
+	k.i(c.Rows)
+	k.ints(c.ColDist)
+	k.t(c.SpineSegLat)
+	k.times(c.VertReqLat)
+	k.times(c.VertRespLat)
+	k.t(c.IngressLat)
+	k.i(c.FlitBytes)
+	k.f(c.SpineSegMM)
+	k.f(c.VertSegMM)
+}
+
+// nucaParams folds a NUCA design's parameters.
+func (k *keyHasher) nucaParams(p config.NUCAParams) {
+	k.i(int(p.Design))
+	k.i(p.Banks)
+	k.i(p.BankBytes)
+	k.i(p.BankAssoc)
+	k.t(p.BankAccess)
+	k.mesh(p.Mesh)
+	k.i(p.BankSets)
+	k.t(p.PTagLatency)
+}
+
+// tlcParams folds a TLC-family design's parameters.
+func (k *keyHasher) tlcParams(p config.TLCParams) {
+	k.i(int(p.Design))
+	k.i(p.Banks)
+	k.i(p.BanksPerBlock)
+	k.i(p.BankBytes)
+	k.t(p.BankAccess)
+	k.i(p.LinesPerPair)
+	k.i(p.DownBits)
+	k.i(p.UpBits)
+	k.t(p.TLCycles)
+	k.t(p.CtrlWireMax)
+	k.b(p.PartialTagInBank)
+}
+
 // configHash keys checkpoints by everything that shapes post-warm machine
 // state: the design and its parameters, the system (L1 geometry), and the
 // workload spec. Over-keying (including parameters warm-up ignores) only
 // costs spurious misses; under-keying would silently restore wrong state.
+// Every parameter is folded field by field with typed encoding (keyHasher);
+// TestConfigHashCoversEveryParameter asserts that perturbing any single
+// field changes the key.
 func configHash(d Design, spec workload.Spec) string {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "v%d|%s|%+v|%+v|", checkpointFormat, d, config.DefaultSystem(), spec)
+	return configHashOf(d, config.DefaultSystem(), spec, nucaParamsFor(d), tlcParamsFor(d))
+}
+
+// nucaParamsFor and tlcParamsFor return the design's parameter struct, or a
+// zero value for the other family — keeping configHashOf total so the
+// perturbation test can drive it directly.
+func nucaParamsFor(d Design) config.NUCAParams {
 	switch d {
 	case config.SNUCA2, config.DNUCA:
-		fmt.Fprintf(h, "%+v", config.NUCAFor(d))
+		return config.NUCAFor(d)
 	default:
-		fmt.Fprintf(h, "%+v", config.TLCFor(d))
+		return config.NUCAParams{}
 	}
-	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func tlcParamsFor(d Design) config.TLCParams {
+	switch d {
+	case config.SNUCA2, config.DNUCA:
+		return config.TLCParams{}
+	default:
+		return config.TLCFor(d)
+	}
+}
+
+// configHashOf is the explicit-encoding core of configHash, parameterized
+// for testing.
+func configHashOf(d Design, sys config.System, spec workload.Spec, np config.NUCAParams, tp config.TLCParams) string {
+	k := newKeyHasher()
+	k.u64(checkpointFormat)
+	k.i(int(d))
+	k.system(sys)
+	k.spec(spec)
+	k.nucaParams(np)
+	k.tlcParams(tp)
+	return k.sum()
 }
 
 // prepare builds the machine for a run and brings it to measured-interval
 // start: post-warm cache state with the generator positioned (and seeded)
 // for the timed stream. Warm-up restores from opt.Checkpoints when
 // possible, re-executing (and storing the result) otherwise.
-func prepare(d Design, spec workload.Spec, opt Options) (instance, *cpu.Core, *workload.Generator) {
+func prepare(d Design, spec workload.Spec, opt Options) (l2.Instrumented, *cpu.Core, *workload.Generator) {
 	sys := config.DefaultSystem()
 	inst := build(d, opt)
 	warmSeed := opt.WarmSeed
@@ -272,23 +455,27 @@ func prepare(d Design, spec workload.Spec, opt Options) (instance, *cpu.Core, *w
 		warm = spec.AutoWarmInstructions()
 	}
 	gen := workload.New(spec, warmSeed)
-	core := cpu.New(sys, inst.cache)
+	core := cpu.New(sys, inst)
+	// The design's registry becomes the run's: the core and the generator
+	// publish alongside the cache layers.
+	core.RegisterMetrics(inst.Metrics())
+	gen.RegisterMetrics(inst.Metrics())
 
 	key := snapshot.Key{Config: configHash(d, spec), Bench: spec.Name, Seed: warmSeed, Warm: warm}
 	restored := false
 	if opt.Checkpoints != nil {
 		if ckp, ok := opt.Checkpoints.Get(key); ok {
-			restored = restoreCheckpoint(ckp, core, inst.cache, gen)
+			restored = restoreCheckpoint(ckp, core, inst, gen)
 		}
 	}
 	if !restored {
 		// Pre-warm installs the whole footprint so capacity state matches
 		// a long-running process, then the trace warm-up establishes
 		// recency and migration steady state.
-		gen.PreWarm(inst.cache)
+		gen.PreWarm(inst)
 		core.Warm(gen, warm)
 		if opt.Checkpoints != nil {
-			if snap, ok := inst.cache.(l2.Snapshotter); ok {
+			if snap, ok := inst.(l2.Snapshotter); ok {
 				opt.Checkpoints.Put(key, snapshot.Checkpoint{
 					Core: core.Snapshot(),
 					L2:   snap.SnapshotState(),
@@ -302,6 +489,9 @@ func prepare(d Design, spec workload.Spec, opt Options) (instance, *cpu.Core, *w
 		// the (shared) warm-up stream.
 		gen.Reseed(opt.Seed)
 	}
+	// The generator's counters, like every other metric, cover only the
+	// timed interval — whether warm-up ran or a checkpoint skipped it.
+	gen.ResetCounters()
 	return inst, core, gen
 }
 
@@ -330,23 +520,51 @@ func RunSpec(d Design, spec workload.Spec, opt Options) (Result, error) {
 	}
 	inst, core, gen := prepare(d, spec, opt)
 	cr := core.Run(gen, opt.RunInstructions)
-
-	st := inst.stats()
-	res := Result{
-		Design:          d,
-		Benchmark:       spec.Name,
-		Instructions:    cr.Instructions,
-		Cycles:          uint64(cr.Cycles),
-		IPC:             cr.IPC(),
-		L2Loads:         st.Loads.Value(),
-		L2Stores:        st.Stores.Value(),
-		MissesPer1K:     st.MissesPer1K(cr.Instructions),
-		MeanLookup:      st.Lookup.Mean(),
-		PredictablePct:  st.PredictablePct(),
-		BanksPerRequest: st.BanksPerRequest(),
-	}
-	inst.finish(&res, cr.Cycles)
+	res := assemble(d, spec.Name, inst.Metrics(), cr.Instructions, cr.Cycles)
+	res.Instructions = cr.Instructions
+	res.Cycles = uint64(cr.Cycles)
+	res.IPC = cr.IPC()
+	emitMetrics(d, spec.Name, inst, cr.Cycles, opt)
 	return res, nil
+}
+
+// assemble fills a Result entirely from registry reads — the single
+// reporting path shared by every design. Counters absent from a design's
+// registry (DNUCA's close hits on SNUCA, ECC on the mesh designs) read
+// zero, exactly the zero value the flat Result previously left untouched.
+func assemble(d Design, benchmark string, reg *metrics.Registry, instructions uint64, cycles sim.Time) Result {
+	loads := reg.CounterValue("l2.loads")
+	stores := reg.CounterValue("l2.stores")
+	return Result{
+		Design:          d,
+		Benchmark:       benchmark,
+		L2Loads:         loads,
+		L2Stores:        stores,
+		MissesPer1K:     stats.PerKilo(reg.CounterValue("l2.misses"), instructions),
+		MeanLookup:      reg.HistogramMean("l2.lookup"),
+		PredictablePct:  100 * stats.Ratio(reg.CounterValue("l2.predictable_lookups"), loads),
+		BanksPerRequest: stats.Ratio(reg.CounterValue("l2.banks_touched"), loads+stores),
+		NetworkPowerW:   reg.GaugeValue("power.network_w", cycles),
+		LinkUtilization: reg.GaugeValue("tl.link_utilization", cycles),
+		CloseHitPct:     reg.GaugeValue("l2.close_hit_pct", cycles),
+
+		PromotesPerInsert: reg.GaugeValue("l2.promotes_per_insert", cycles),
+		ECCCorrections:    reg.CounterValue("ecc.corrections"),
+		ECCRetries:        reg.CounterValue("ecc.retries"),
+	}
+}
+
+// emitMetrics fires the OnMetrics callback for a finished run.
+func emitMetrics(d Design, benchmark string, inst l2.Instrumented, cycles sim.Time, opt Options) {
+	if opt.OnMetrics == nil {
+		return
+	}
+	opt.OnMetrics(MetricsEvent{
+		Design:    d,
+		Benchmark: benchmark,
+		Cycles:    uint64(cycles),
+		Snapshot:  inst.Metrics().Snapshot(cycles),
+	})
 }
 
 // SampledResult is a Result estimated by sampled execution, plus the 95%
@@ -364,6 +582,22 @@ type SampledResult struct {
 	// Intervals and DetailedInstructions report the sampling shape used.
 	Intervals            int
 	DetailedInstructions uint64
+	// Metrics extends the confidence intervals to every registered
+	// counter: per-interval deltas of each registry counter, normalized to
+	// events per 1K detailed instructions, aggregated across intervals.
+	// Sorted by name.
+	Metrics []MetricCI
+}
+
+// MetricCI is the sampled-mode estimate for one registry counter.
+type MetricCI struct {
+	// Name is the counter's registry name.
+	Name string
+	// MeanPer1K is the mean event rate per thousand detailed instructions
+	// across intervals.
+	MeanPer1K float64
+	// CI95 is the 95% confidence half-width on MeanPer1K.
+	CI95 float64
 }
 
 // RunSampled simulates one benchmark on one design in sampled mode.
@@ -385,12 +619,21 @@ func RunSpecSampled(d Design, spec workload.Spec, opt Options) (SampledResult, e
 		return SampledResult{}, err
 	}
 	inst, core, gen := prepare(d, spec, opt)
+	reg := inst.Metrics()
 
 	// Per-interval L2 stat deltas feed the lookup-latency and miss-rate
 	// confidence intervals.
-	st := inst.stats()
+	st := inst.L2Stats()
 	var lookup, missRate stats.Sample
 	var prevLookupSum, prevLookupCount, prevMisses uint64
+	// Generic per-counter deltas extend the CIs to every registered
+	// counter. The name list and the value buffers are fixed up front so
+	// the per-interval observer allocates nothing.
+	names := reg.CounterNames()
+	counterSamples := make([]stats.Sample, len(names))
+	prevVals := make([]uint64, len(names))
+	curVals := make([]uint64, 0, len(names))
+	prevVals = reg.AppendCounterValues(prevVals[:0], names)
 	est := sample.Run(core, gen, opt.RunInstructions, sopt, func(iv sample.Interval) {
 		dSum := st.Lookup.Sum() - prevLookupSum
 		dCount := st.Lookup.Count() - prevLookupCount
@@ -400,31 +643,33 @@ func RunSpecSampled(d Design, spec workload.Spec, opt Options) (SampledResult, e
 			lookup.Observe(float64(dSum) / float64(dCount))
 		}
 		missRate.Observe(1000 * float64(dMiss) / float64(iv.Result.Instructions))
+		curVals = reg.AppendCounterValues(curVals[:0], names)
+		for i, v := range curVals {
+			counterSamples[i].Observe(1000 * float64(v-prevVals[i]) / float64(iv.Result.Instructions))
+		}
+		prevVals, curVals = curVals, prevVals
 	})
 
 	estCycles := est.Cycles()
-	res := Result{
-		Design:       d,
-		Benchmark:    spec.Name,
-		Instructions: opt.RunInstructions,
-		Cycles:       uint64(estCycles + 0.5),
-		// The L2 counters cover only the detailed instructions; rates are
-		// computed over that denominator, and the absolute load/store
-		// counts are scaled to the full run like the cycle estimate.
-		L2Loads:         scaleCount(st.Loads.Value(), opt.RunInstructions, est.Detailed),
-		L2Stores:        scaleCount(st.Stores.Value(), opt.RunInstructions, est.Detailed),
-		MissesPer1K:     st.MissesPer1K(est.Detailed),
-		MeanLookup:      st.Lookup.Mean(),
-		PredictablePct:  st.PredictablePct(),
-		BanksPerRequest: st.BanksPerRequest(),
-	}
+	// The L2 counters cover only the detailed instructions; rates are
+	// computed over that denominator, and the absolute load/store counts
+	// are scaled to the full run like the cycle estimate. Power and
+	// utilization integrate over the detailed window: the clock only
+	// advances during detailed intervals, so FinalClock is that window's
+	// span.
+	res := assemble(d, spec.Name, reg, est.Detailed, est.FinalClock)
+	res.Instructions = opt.RunInstructions
+	res.Cycles = uint64(estCycles + 0.5)
+	res.L2Loads = scaleCount(res.L2Loads, opt.RunInstructions, est.Detailed)
+	res.L2Stores = scaleCount(res.L2Stores, opt.RunInstructions, est.Detailed)
 	if estCycles > 0 {
 		res.IPC = float64(opt.RunInstructions) / estCycles
 	}
-	// Power and utilization integrate over the detailed window: the clock
-	// only advances during detailed intervals, so FinalClock is that
-	// window's span.
-	inst.finish(&res, est.FinalClock)
+	mcis := make([]MetricCI, len(names))
+	for i, n := range names {
+		mcis[i] = MetricCI{Name: n, MeanPer1K: counterSamples[i].Mean(), CI95: counterSamples[i].CI95()}
+	}
+	emitMetrics(d, spec.Name, inst, est.FinalClock, opt)
 	return SampledResult{
 		Result:               res,
 		CyclesCI:             est.CyclesCI(),
@@ -432,6 +677,7 @@ func RunSpecSampled(d Design, spec workload.Spec, opt Options) (SampledResult, e
 		MissesPer1KCI:        missRate.CI95(),
 		Intervals:            est.Intervals,
 		DetailedInstructions: est.Detailed,
+		Metrics:              mcis,
 	}, nil
 }
 
