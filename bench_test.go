@@ -9,6 +9,7 @@ package tlc
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"time"
 
@@ -229,6 +230,60 @@ func BenchmarkFullScaleSampledSpeedup(b *testing.B) {
 	b.ReportMetric(speedup, "wallclock_speedup")
 	b.ReportMetric(float64(fullNS.Milliseconds())/float64(b.N), "full_ms_per_run")
 	b.ReportMetric(float64(fastNS.Milliseconds())/float64(b.N), "sampled_ms_per_run")
+}
+
+func BenchmarkWarmThroughput(b *testing.B) {
+	// The batched-delivery acceptance gate: the warm fast path (MemStream
+	// run-length skipping + fused L1 scan + bulk L2 installs) against the
+	// scalar reference loop, on identically prepared machines. Two workload
+	// profiles bound the gain: bzip's references stay in the L1-resident
+	// region (delivery-dominated, where fusion pays most), gcc spreads work
+	// across the skewed hot set and the TLC warm kernel. The benchmark
+	// doubles as a determinism smoke check: after the timed sections, the
+	// two cores and caches must hold bit-identical state, so CI's short
+	// -benchtime run fails loudly on any batched/scalar divergence.
+	for _, name := range []string{"bzip", "gcc"} {
+		b.Run(name, func(b *testing.B) {
+			sys := config.DefaultSystem()
+			spec, _ := workload.SpecByName(name)
+			const warmN = 2_000_000
+			mk := func() (*cpu.Core, *workload.Generator, *tlcache.Cache) {
+				gen := workload.New(spec, 1)
+				c := tlcache.New(config.TLC, sys.MemoryLatency)
+				gen.PreWarm(c)
+				core := cpu.New(sys, c)
+				core.Warm(gen, warmN) // steady-state caches and buffers before timing
+				return core, gen, c
+			}
+			scalarCore, scalarGen, scalarL2 := mk()
+			fastCore, fastGen, fastL2 := mk()
+
+			var scalarNS, fastNS time.Duration
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				scalarCore.Warm(scalarStream{scalarGen}, warmN)
+				t1 := time.Now()
+				fastCore.Warm(fastGen, warmN)
+				scalarNS += t1.Sub(t0)
+				fastNS += time.Since(t1)
+			}
+			b.ReportMetric(float64(scalarNS)/float64(fastNS), "warm_speedup")
+			b.ReportMetric(float64(b.N)*warmN/1e6/fastNS.Seconds(), "batched_Minstr_per_s")
+			b.ReportMetric(float64(b.N)*warmN/1e6/scalarNS.Seconds(), "scalar_Minstr_per_s")
+
+			// Divergence check: both arms consumed the identical stream, so
+			// state must match exactly.
+			if scalarGen.State() != fastGen.State() {
+				b.Fatal("batched and scalar warm diverged: generator state mismatch")
+			}
+			if !reflect.DeepEqual(scalarCore.Snapshot(), fastCore.Snapshot()) {
+				b.Fatal("batched and scalar warm diverged: L1 state mismatch")
+			}
+			if !reflect.DeepEqual(scalarL2.SnapshotState(), fastL2.SnapshotState()) {
+				b.Fatal("batched and scalar warm diverged: L2 state mismatch")
+			}
+		})
+	}
 }
 
 // --- Ablation benches (DESIGN.md section 5) ---

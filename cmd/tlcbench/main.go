@@ -81,7 +81,9 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	diffAgainst := flag.String("diff-against", "",
 		"previous artifact to diff the embedded metrics against (report on stderr)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	cpuprofile := flag.String("cpuprofile", "",
+		"write a CPU profile of the simulation region to this file "+
+			"(covers only the run sweep — setup, JSON encoding, and metric diffing are excluded)")
 	memprofile := flag.String("memprofile", "", "write a post-sweep heap profile to this file")
 	accel := cliopt.Register()
 	flag.Parse()
@@ -94,19 +96,6 @@ func main() {
 	}
 	accel.Apply(&opt)
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
-	}
 	designs := []tlc.Design{tlc.DesignSNUCA2, tlc.DesignDNUCA, tlc.DesignTLC}
 	if *full {
 		designs = tlc.Designs()
@@ -122,12 +111,31 @@ func main() {
 		mu.Unlock()
 	}
 
+	// The CPU profile brackets exactly the simulation region, so the
+	// resulting profile answers "where does simulation time go" without
+	// startup, artifact encoding, or diffing noise diluting it.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	start := time.Now()
-	if err := s.RunAll(designs, benches, *par); err != nil {
+	err := s.RunAll(designs, benches, *par)
+	elapsed := time.Since(start)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	elapsed := time.Since(start)
 
 	doc := document{
 		TimedInstructions: opt.RunInstructions,
@@ -243,12 +251,15 @@ func main() {
 // diffs only the intersection.
 func diffMetrics(path string, cur document) error {
 	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return fmt.Errorf("tlcbench: -diff-against: no previous artifact at %s", path)
+	}
 	if err != nil {
-		return fmt.Errorf("diff-against: %w", err)
+		return fmt.Errorf("tlcbench: -diff-against: cannot read %s: %v", path, err)
 	}
 	var prev document
 	if err := json.Unmarshal(raw, &prev); err != nil {
-		return fmt.Errorf("diff-against %s: %w", path, err)
+		return fmt.Errorf("tlcbench: -diff-against: %s is not a tlcbench artifact: %v", path, err)
 	}
 
 	prevRuns := make(map[string]record, len(prev.Runs))

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tlc"
+)
+
+// TestDiffMetricsMissingArtifact covers the common trajectory mistake:
+// pointing -diff-against at an artifact that was never generated. The error
+// must be a single clear line naming the path (main exits nonzero on it),
+// not a wrapped *PathError dump.
+func TestDiffMetricsMissingArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope.json")
+	err := diffMetrics(path, document{})
+	if err == nil {
+		t.Fatalf("diffMetrics(%q) = nil, want error", path)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, path) {
+		t.Errorf("error %q does not name the missing path %q", msg, path)
+	}
+	if !strings.Contains(msg, "no previous artifact") {
+		t.Errorf("error %q does not say the artifact is missing", msg)
+	}
+	if strings.Contains(msg, "\n") {
+		t.Errorf("error %q spans multiple lines", msg)
+	}
+}
+
+// TestDiffMetricsMalformedArtifact: a file that exists but is not a
+// tlcbench artifact must fail with a one-line message naming the path.
+func TestDiffMetricsMalformedArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := diffMetrics(path, document{})
+	if err == nil {
+		t.Fatalf("diffMetrics(%q) = nil, want error", path)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, path) {
+		t.Errorf("error %q does not name the path %q", msg, path)
+	}
+	if strings.Contains(msg, "\n") {
+		t.Errorf("error %q spans multiple lines", msg)
+	}
+}
+
+// TestDiffMetricsValidArtifact: a well-formed previous artifact diffs
+// cleanly (nil error), whether metrics moved or not — drift is reported on
+// stderr, it is not a failure.
+func TestDiffMetricsValidArtifact(t *testing.T) {
+	prev := document{
+		Runs: []record{{
+			Design:    "TLC",
+			Benchmark: "gcc",
+			Metrics: tlc.MetricsSnapshot{
+				{Name: "l1.hits", Value: 100},
+			},
+		}},
+	}
+	raw, err := json.Marshal(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "prev.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cur := document{
+		Runs: []record{{
+			Design:    "TLC",
+			Benchmark: "gcc",
+			Metrics: tlc.MetricsSnapshot{
+				{Name: "l1.hits", Value: 150},
+			},
+		}},
+	}
+	if err := diffMetrics(path, cur); err != nil {
+		t.Fatalf("diffMetrics on valid artifact: %v", err)
+	}
+}

@@ -18,12 +18,22 @@ type SetAssoc struct {
 	sets  int
 	assoc int
 	// lines[set*assoc+way] holds the block in that line; valid gates it.
+	// Invariant: an invalid line always holds invalidLine, so the hot
+	// 2-way probes can decide a hit from the tag compare alone without
+	// loading the valid bytes. Snapshot normalizes the sentinel away, so
+	// the exported state (and old checkpoints) keep zeros there.
 	lines []mem.Block
-	valid []bool
+	valid []uint8
 	// lru[set*assoc+way] is the recency rank of the line: 0 = MRU,
 	// assoc-1 = LRU. Ranks within a set are always a permutation.
 	lru []uint8
 }
+
+// invalidLine marks an invalid way in the lines array. No real block takes
+// this value (the workload's address layout spans well under 2⁶⁴); the one
+// pathological caller — a hand-built trace referencing block ^0 — is routed
+// to the valid-checked generic paths instead.
+const invalidLine = ^mem.Block(0)
 
 // NewSetAssoc returns an empty array with the given geometry. Sets must be
 // a power of two (address arithmetic), assoc must fit the recency encoding.
@@ -39,8 +49,11 @@ func NewSetAssoc(sets, assoc int) *SetAssoc {
 		sets:  sets,
 		assoc: assoc,
 		lines: make([]mem.Block, n),
-		valid: make([]bool, n),
+		valid: make([]uint8, n),
 		lru:   make([]uint8, n),
+	}
+	for i := range c.lines {
+		c.lines[i] = invalidLine
 	}
 	for s := 0; s < sets; s++ {
 		for w := 0; w < assoc; w++ {
@@ -108,7 +121,7 @@ func (c *SetAssoc) InsertAt(b mem.Block) (idx int, victim mem.Block, evicted boo
 	// Prefer an invalid way; otherwise evict the LRU way.
 	way := -1
 	for w := 0; w < c.assoc; w++ {
-		if !c.valid[base+w] {
+		if c.valid[base+w] == 0 {
 			way = w
 			break
 		}
@@ -124,9 +137,106 @@ func (c *SetAssoc) InsertAt(b mem.Block) (idx int, victim mem.Block, evicted boo
 		evicted = true
 	}
 	c.lines[base+way] = b
-	c.valid[base+way] = true
+	c.valid[base+way] = 1
 	c.promote(set, base+way)
 	return base + way, victim, evicted
+}
+
+// TouchOrInsertAt fuses TouchAt with the InsertAt miss path in a single set
+// scan: on a hit it promotes b and reports hit=true; on a miss it installs b
+// (reusing an invalid way, else evicting the LRU way) and reports the victim.
+// State evolution is identical to TouchAt followed by InsertAt on miss — the
+// warm fast path uses it to halve the set searches of the scalar sequence.
+func (c *SetAssoc) TouchOrInsertAt(b mem.Block) (idx int, hit bool, victim mem.Block, evicted bool) {
+	if c.assoc == 2 && b != invalidLine {
+		// The split L1s are 2-way; a direct two-line compare with one-bit
+		// recency beats the generic way loop on the warm fast path. Which
+		// way holds a block is data-random, so the way select is arranged
+		// as conditional moves; the only branch taken per call — hit or
+		// miss — is the predictable one. The 2-way body is the entry so
+		// the hot case pays one call, not two.
+		base := b.SetIndex(c.sets) * 2
+		lines := c.lines[base : base+2]
+		// y is zero iff the way holds b; the invalidLine invariant makes
+		// the tag compare alone authoritative.
+		y0 := uint64(lines[0]) ^ uint64(b)
+		y1 := uint64(lines[1]) ^ uint64(b)
+		ymin := y0
+		if y1 < ymin {
+			ymin = y1
+		}
+		if ymin == 0 {
+			w := base
+			if y1 == 0 {
+				w = base + 1
+			}
+			// Promote w unconditionally: rank d for way 0, 1-d for way 1
+			// writes the same permutation the promote loop would leave,
+			// without a data-dependent branch.
+			d := uint8(w - base)
+			lru := c.lru[base : base+2]
+			lru[0] = d
+			lru[1] = 1 - d
+			return w, true, 0, false
+		}
+		return c.insert2(b, base)
+	}
+	set := b.SetIndex(c.sets)
+	base := set * c.assoc
+	// One pass finds b, the first invalid way, and the LRU way together.
+	invalid, lruWay := -1, -1
+	for w := 0; w < c.assoc; w++ {
+		if c.valid[base+w] == 0 {
+			if invalid == -1 {
+				invalid = w
+			}
+			continue
+		}
+		if c.lines[base+w] == b {
+			c.promote(set, base+w)
+			return base + w, true, 0, false
+		}
+		if c.lru[base+w] == uint8(c.assoc-1) {
+			lruWay = w
+		}
+	}
+	way := invalid
+	if way == -1 {
+		way = lruWay
+		victim = c.lines[base+way]
+		evicted = true
+	}
+	c.lines[base+way] = b
+	c.valid[base+way] = 1
+	c.promote(set, base+way)
+	return base + way, false, victim, evicted
+}
+
+// insert2 is the 2-way miss path: reuse an invalid way (lower way first,
+// as the generic scan does), else evict the LRU way. Recency is a single
+// bit per pair, so the install writes both ranks directly. State evolution
+// is identical to the generic path.
+func (c *SetAssoc) insert2(b mem.Block, base int) (idx int, hit bool, victim mem.Block, evicted bool) {
+	way := base
+	if c.valid[base] != 0 {
+		if c.valid[base+1] == 0 {
+			way = base + 1
+		} else {
+			if c.lru[base] != 1 {
+				way = base + 1
+			}
+			victim = c.lines[way]
+			evicted = true
+		}
+	}
+	c.lines[way] = b
+	c.valid[way] = 1
+	if way == base {
+		c.lru[base], c.lru[base+1] = 0, 1
+	} else {
+		c.lru[base], c.lru[base+1] = 1, 0
+	}
+	return way, false, victim, evicted
 }
 
 // Remove invalidates b (a migration extraction or external eviction) and
@@ -146,8 +256,8 @@ func (c *SetAssoc) Remove(b mem.Block) bool {
 		}
 	}
 	c.lru[idx] = uint8(c.assoc - 1)
-	c.valid[idx] = false
-	c.lines[idx] = 0
+	c.valid[idx] = 0
+	c.lines[idx] = invalidLine
 	return true
 }
 
@@ -161,7 +271,7 @@ func (c *SetAssoc) VictimOf(b mem.Block) (victim mem.Block, ok bool) {
 	set := b.SetIndex(c.sets)
 	base := set * c.assoc
 	for w := 0; w < c.assoc; w++ {
-		if !c.valid[base+w] {
+		if c.valid[base+w] == 0 {
 			return 0, false
 		}
 	}
@@ -177,7 +287,7 @@ func (c *SetAssoc) VictimOf(b mem.Block) (victim mem.Block, ok bool) {
 func (c *SetAssoc) Occupancy() int {
 	n := 0
 	for _, v := range c.valid {
-		if v {
+		if v != 0 {
 			n++
 		}
 	}
@@ -188,7 +298,7 @@ func (c *SetAssoc) Occupancy() int {
 func (c *SetAssoc) find(b mem.Block) (int, bool) {
 	base := b.SetIndex(c.sets) * c.assoc
 	for w := 0; w < c.assoc; w++ {
-		if c.valid[base+w] && c.lines[base+w] == b {
+		if c.valid[base+w] != 0 && c.lines[base+w] == b {
 			return base + w, true
 		}
 	}
@@ -197,8 +307,14 @@ func (c *SetAssoc) find(b mem.Block) (int, bool) {
 
 // promote makes line idx the MRU of set.
 func (c *SetAssoc) promote(set, idx int) {
-	base := set * c.assoc
 	was := c.lru[idx]
+	if was == 0 {
+		// Already MRU: the demotion loop would be a no-op. Re-touches of
+		// the hottest line dominate warm streams, so this exit carries
+		// most calls.
+		return
+	}
+	base := set * c.assoc
 	for w := 0; w < c.assoc; w++ {
 		if c.lru[base+w] < was {
 			c.lru[base+w]++
@@ -230,7 +346,7 @@ func (c *SetAssoc) AppendLinesIn(dst []Line, set int) []Line {
 	}
 	base := set * c.assoc
 	for w := 0; w < c.assoc; w++ {
-		if c.valid[base+w] {
+		if c.valid[base+w] != 0 {
 			dst = append(dst, Line{Way: w, Block: c.lines[base+w]})
 		}
 	}

@@ -31,7 +31,15 @@ func (c *SetAssoc) Snapshot() SetAssocState {
 		LRU:   make([]uint8, len(c.lru)),
 	}
 	copy(st.Lines, c.lines)
-	copy(st.Valid, c.valid)
+	for i, v := range c.valid {
+		st.Valid[i] = v != 0
+		if v == 0 {
+			// Normalize the internal invalid-line sentinel away: exported
+			// states (and the on-disk checkpoints built from them) keep
+			// zeros in invalid ways, as they always have.
+			st.Lines[i] = 0
+		}
+	}
 	copy(st.LRU, c.lru)
 	return st
 }
@@ -51,7 +59,16 @@ func (c *SetAssoc) Restore(st SetAssocState) error {
 			len(st.Lines), len(st.Valid), len(st.LRU), n)
 	}
 	copy(c.lines, st.Lines)
-	copy(c.valid, st.Valid)
+	for i, v := range st.Valid {
+		if v {
+			c.valid[i] = 1
+		} else {
+			// Re-establish the invalid-line sentinel the exported form
+			// (and any checkpoint written before it existed) stores as 0.
+			c.valid[i] = 0
+			c.lines[i] = invalidLine
+		}
+	}
 	copy(c.lru, st.LRU)
 	return nil
 }

@@ -1,0 +1,49 @@
+package cache
+
+import (
+	"reflect"
+	"testing"
+
+	"tlc/internal/mem"
+)
+
+// TestTouchOrInsertAtMatchesScalarSequence drives an identical pseudo-random
+// access sequence through the fused TouchOrInsertAt and through the scalar
+// TouchAt-then-InsertAt sequence it replaces, checking every per-call return
+// and the final array state. The warm fast path's correctness rests on this
+// equivalence.
+func TestTouchOrInsertAtMatchesScalarSequence(t *testing.T) {
+	// 4-way exercises the generic way loop; 2-way exercises the specialized
+	// touchOrInsert2 fast path (the split-L1 geometry).
+	for _, geo := range []struct{ sets, assoc int }{{16, 4}, {32, 2}} {
+		fused := NewSetAssoc(geo.sets, geo.assoc)
+		scalar := NewSetAssoc(geo.sets, geo.assoc)
+		// A multiplicative-congruential walk over a space ~4x the capacity
+		// mixes hits, misses into free ways, and evicting misses.
+		x := uint64(1)
+		for i := 0; i < 20000; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			b := mem.Block(x >> 56) // 256 distinct blocks over 64 lines
+
+			fIdx, fHit, fVictim, fEvicted := fused.TouchOrInsertAt(b)
+
+			sIdx, sHit := scalar.TouchAt(b)
+			var sVictim mem.Block
+			var sEvicted bool
+			if !sHit {
+				sIdx, sVictim, sEvicted = scalar.InsertAt(b)
+			}
+
+			if fIdx != sIdx || fHit != sHit || fVictim != sVictim || fEvicted != sEvicted {
+				t.Fatalf("%dx%d step %d block %d: fused (%d,%v,%d,%v) != scalar (%d,%v,%d,%v)",
+					geo.sets, geo.assoc, i, b, fIdx, fHit, fVictim, fEvicted, sIdx, sHit, sVictim, sEvicted)
+			}
+		}
+		if !reflect.DeepEqual(fused.Snapshot(), scalar.Snapshot()) {
+			t.Fatalf("%dx%d: fused and scalar sequences left different array state", geo.sets, geo.assoc)
+		}
+		if err := fused.checkLRUPermutation(); err != nil {
+			t.Fatalf("%dx%d: fused array LRU state corrupt: %v", geo.sets, geo.assoc, err)
+		}
+	}
+}

@@ -47,6 +47,59 @@ type Stream interface {
 	Next() Instr
 }
 
+// BatchStream is the batched delivery protocol: NextBatch fills a
+// caller-owned buffer with the next len(buf) instructions of the stream and
+// returns how many it wrote (always at least 1 for a non-empty buffer). The
+// instruction sequence must be identical to repeated Next calls — batching
+// changes delivery, never content. Native implementations (workload
+// generator, trace reader) amortize their per-instruction costs over the
+// batch; AsBatch adapts any legacy Stream.
+type BatchStream interface {
+	Stream
+	NextBatch(buf []Instr) int
+}
+
+// MemRef is one memory operation of a warm stream: the block and whether
+// the access is a store. Functional warming needs nothing else. It aliases
+// cache.WarmRef so the L1 array can consume whole batches directly
+// (SetAssoc.WarmSweep) without a package cycle.
+type MemRef = cache.WarmRef
+
+// MemStream is the warm-mode fast path: NextMems advances the stream by up
+// to maxInstr instructions, materializing only the memory operations into
+// buf and skipping non-memory instructions as run-length counts. It returns
+// the number of MemRefs written and the total instructions consumed
+// (consumed >= n; the difference is the skipped non-memory run). The
+// stream's state after NextMems must be bit-identical to having delivered
+// the same instructions through Next — so a detailed interval can resume on
+// the same stream right after a warm stretch.
+type MemStream interface {
+	Stream
+	NextMems(buf []MemRef, maxInstr uint64) (n int, consumed uint64)
+}
+
+// AsBatch adapts any Stream to BatchStream: native batchers pass through,
+// everything else is wrapped in a shim that loops Next. The shim allocates;
+// Core.run keeps a reusable one instead.
+func AsBatch(s Stream) BatchStream {
+	if bs, ok := s.(BatchStream); ok {
+		return bs
+	}
+	return &batchShim{s}
+}
+
+// batchShim adapts a scalar Stream to the batched protocol one Next call at
+// a time — the compatibility floor every Stream gets for free.
+type batchShim struct{ Stream }
+
+// NextBatch implements BatchStream.
+func (b *batchShim) NextBatch(buf []Instr) int {
+	for i := range buf {
+		buf[i] = b.Stream.Next()
+	}
+	return len(buf)
+}
+
 // Result summarizes one timed run.
 type Result struct {
 	Instructions uint64
@@ -73,8 +126,10 @@ type Core struct {
 	l1 *cache.SetAssoc
 	// dirty[idx] is the dirty bit of L1 line idx (set*assoc+way): per-way
 	// state alongside the set-associative array, as the hardware keeps it.
-	// A map keyed by block was the hot-loop allocator here.
-	dirty []bool
+	// A map keyed by block was the hot-loop allocator here. Bytes rather
+	// than bools so the warm fast path can update them with arithmetic
+	// instead of a data-random branch.
+	dirty []uint8
 
 	// retire ring buffer: retire[i % ROB] is instruction i's retire time.
 	retire []sim.Time
@@ -105,6 +160,18 @@ type Core struct {
 
 	res Result
 
+	// Batched-delivery buffers, allocated lazily on first use and reused
+	// for the core's lifetime so the hot loops stay allocation-free.
+	// batch receives detailed-mode instructions (Core.run), memBuf receives
+	// warm-mode memory references (warmFast), and l2Warm collects warm-path
+	// L2 installs for bulk delivery to an l2.Warmer.
+	batch  []Instr
+	memBuf []MemRef
+	l2Warm []mem.Block
+	// shim is the reusable legacy-Stream adapter, so running a scalar
+	// stream costs no per-call allocation.
+	shim batchShim
+
 	// cum accumulates pipeline-event counters over the whole timing epoch
 	// (res resets on every run/Resume call; these reset with the epoch in
 	// resetTiming), feeding the metrics registry.
@@ -124,7 +191,7 @@ func New(sys config.System, l2c l2.Cache) *Core {
 		sys:    sys,
 		l2:     l2c,
 		l1:     l1,
-		dirty:  make([]bool, l1.Blocks()),
+		dirty:  make([]uint8, l1.Blocks()),
 		retire: make([]sim.Time, sys.ROBEntries),
 		issued: make([]sim.Time, sys.SchedulerEntries),
 		// MSHR occupancy never exceeds MaxOutstanding entries; a fixed
@@ -147,10 +214,42 @@ func (c *Core) RegisterMetrics(r *metrics.Registry) {
 	r.CounterFunc("cpu.fetch.mispredicts", func() uint64 { return c.cum.mispredicts })
 }
 
+// Batch-buffer capacities. streamBatch bounds one detailed-mode NextBatch
+// fill; memBatch bounds one warm-mode NextMems fill; l2WarmCap sizes the
+// warm-path bulk-install buffer for the worst case of one sweep (a dirty
+// writeback plus a load fill per reference) so a sweep's spill never
+// reallocates. All keep the working set well inside the host cache while
+// amortizing the interface crossings they exist to eliminate.
+const (
+	streamBatch = 4096
+	memBatch    = 512
+	l2WarmCap   = 2 * memBatch
+)
+
 // Warm advances the stream n instructions functionally: L1 state and L2
 // contents update with no timing, so the measured interval starts from a
 // steady-state cache.
+//
+// Streams implementing MemStream take the fast path: non-memory
+// instructions are skipped as run-length counts inside the stream, the L1
+// touch/insert is fused into one set scan, and L2 installs are delivered in
+// bulk when the design implements l2.Warmer. Other streams take the scalar
+// reference loop. Both leave the core and L2 in bit-identical state — the
+// batched/scalar equivalence tests pin this.
 func (c *Core) Warm(s Stream, n uint64) {
+	if ms, ok := s.(MemStream); ok {
+		c.warmFast(ms, n)
+		return
+	}
+	c.warmScalar(s, n)
+}
+
+// warmScalar is the per-instruction reference warm loop: every instruction
+// crosses the Stream interface, memory ops touch the L1 in two set scans,
+// and L2 installs dispatch one at a time. It defines the state evolution
+// the fast path must reproduce exactly, and remains the baseline arm of
+// BenchmarkWarmThroughput.
+func (c *Core) warmScalar(s Stream, n uint64) {
 	for i := uint64(0); i < n; i++ {
 		in := s.Next()
 		if !in.IsMem {
@@ -158,7 +257,7 @@ func (c *Core) Warm(s Stream, n uint64) {
 		}
 		if idx, hit := c.l1.TouchAt(in.Block); hit {
 			if in.IsStore {
-				c.dirty[idx] = true
+				c.dirty[idx] = 1
 			}
 			continue
 		}
@@ -166,12 +265,48 @@ func (c *Core) Warm(s Stream, n uint64) {
 		// the victim's line, so its dirty bit is read before being
 		// overwritten with the new line's state.
 		idx, victim, evicted := c.l1.InsertAt(in.Block)
-		if evicted && c.dirty[idx] {
+		if evicted && c.dirty[idx] != 0 {
 			c.l2.Warm(victim)
 		}
-		c.dirty[idx] = in.IsStore
-		if !in.IsStore {
+		if in.IsStore {
+			c.dirty[idx] = 1
+		} else {
+			c.dirty[idx] = 0
 			c.l2.Warm(in.Block)
+		}
+	}
+}
+
+// warmFast is the batched warm kernel. Each NextMems fill is driven through
+// the L1 in one WarmSweep call, which appends — in reference order — every
+// block the L2 must observe (dirty-victim writeback before the missing
+// block's fill) to the reusable spill buffer. The L2 installs a warm loop
+// emits never feed back into L1 decisions, so delivering each sweep's spill
+// through l2.Warmer.WarmBulk preserves the exact Warm-call sequence of the
+// scalar loop.
+func (c *Core) warmFast(s MemStream, n uint64) {
+	if c.memBuf == nil {
+		c.memBuf = make([]MemRef, memBatch)
+	}
+	if c.l2Warm == nil {
+		c.l2Warm = make([]mem.Block, 0, l2WarmCap)
+	}
+	warmer, bulk := c.l2.(l2.Warmer)
+	for remaining := n; remaining > 0; {
+		m, consumed := s.NextMems(c.memBuf, remaining)
+		if consumed == 0 {
+			panic("cpu: warm stream made no progress")
+		}
+		remaining -= consumed
+		spill := c.l1.WarmSweep(c.memBuf[:m], c.dirty, c.l2Warm[:0])
+		if bulk {
+			if len(spill) > 0 {
+				warmer.WarmBulk(spill)
+			}
+		} else {
+			for _, b := range spill {
+				c.l2.Warm(b)
+			}
 		}
 	}
 }
@@ -206,7 +341,10 @@ func (c *Core) RunFrom(s Stream, n uint64, base sim.Time) Result {
 // boundaries introduce no pipeline-restart transient into the measured CPI.
 func (c *Core) Resume(s Stream, n uint64) Result { return c.run(s, n) }
 
-// run times n instructions within the current timing epoch.
+// run times n instructions within the current timing epoch. Instructions
+// arrive through the batched protocol: native BatchStreams fill the core's
+// reusable buffer directly; legacy Streams go through the core's resident
+// shim, so neither path allocates per call.
 func (c *Core) run(s Stream, n uint64) Result {
 	c.res = Result{Instructions: n}
 	rob := uint64(c.sys.ROBEntries)
@@ -215,49 +353,69 @@ func (c *Core) run(s Stream, n uint64) Result {
 	base := c.epochBase
 	start := c.epochInstrs
 	last := c.lastRetire
-	for j := uint64(0); j < n; j++ {
-		i := start + j
-		in := s.Next()
-		// Fetch bandwidth: FetchWidth instructions per cycle, pushed back
-		// by accumulated misprediction refills.
-		issue := base + sim.Time(i)/width + c.fetchPenalty
-		// ROB availability: instruction i needs instruction i-ROB retired.
-		if i >= rob {
-			if t := c.retire[i%rob]; t > issue {
-				issue = t
-				c.cum.robStalls++
-			}
-		}
-		// Scheduler availability: instruction i-sched must have issued.
-		if i >= sched {
-			if t := c.issued[i%sched]; t > issue {
-				issue = t
-				c.cum.schedStalls++
-			}
-		}
-		issueAt, complete := c.execute(issue, in)
-		c.issued[i%sched] = issueAt
-		if in.Mispredict {
-			c.fetchPenalty += sim.Time(c.sys.PipelineStages)
-			c.cum.mispredicts++
-		}
-		c.prevComplete = complete
-		// In-order retirement at fetch width.
-		slot := c.retire[(i+rob-1)%rob] // previous instruction's retire
-		if i == 0 {
-			slot = base
-		}
-		if complete > slot {
-			slot = complete
-		}
-		if i >= uint64(width) {
-			if t := c.retire[(i-uint64(width))%rob] + 1; t > slot {
-				slot = t
-			}
-		}
-		c.retire[i%rob] = slot
-		last = slot
+	bs, native := s.(BatchStream)
+	if !native {
+		c.shim.Stream = s
+		bs = &c.shim
 	}
+	if c.batch == nil {
+		c.batch = make([]Instr, streamBatch)
+	}
+	for j := uint64(0); j < n; {
+		want := n - j
+		if want > streamBatch {
+			want = streamBatch
+		}
+		got := bs.NextBatch(c.batch[:want])
+		if got <= 0 {
+			panic("cpu: batch stream made no progress")
+		}
+		for _, in := range c.batch[:got] {
+			i := start + j
+			// Fetch bandwidth: FetchWidth instructions per cycle, pushed
+			// back by accumulated misprediction refills.
+			issue := base + sim.Time(i)/width + c.fetchPenalty
+			// ROB availability: instruction i needs instruction i-ROB
+			// retired.
+			if i >= rob {
+				if t := c.retire[i%rob]; t > issue {
+					issue = t
+					c.cum.robStalls++
+				}
+			}
+			// Scheduler availability: instruction i-sched must have issued.
+			if i >= sched {
+				if t := c.issued[i%sched]; t > issue {
+					issue = t
+					c.cum.schedStalls++
+				}
+			}
+			issueAt, complete := c.execute(issue, in)
+			c.issued[i%sched] = issueAt
+			if in.Mispredict {
+				c.fetchPenalty += sim.Time(c.sys.PipelineStages)
+				c.cum.mispredicts++
+			}
+			c.prevComplete = complete
+			// In-order retirement at fetch width.
+			slot := c.retire[(i+rob-1)%rob] // previous instruction's retire
+			if i == 0 {
+				slot = base
+			}
+			if complete > slot {
+				slot = complete
+			}
+			if i >= uint64(width) {
+				if t := c.retire[(i-uint64(width))%rob] + 1; t > slot {
+					slot = t
+				}
+			}
+			c.retire[i%rob] = slot
+			last = slot
+			j++
+		}
+	}
+	c.shim.Stream = nil
 	c.epochInstrs = start + n
 	c.lastRetire = last
 	c.res.Cycles = last
@@ -305,7 +463,9 @@ func (c *Core) Snapshot() State {
 		L1:    c.l1.Snapshot(),
 		Dirty: make([]bool, len(c.dirty)),
 	}
-	copy(st.Dirty, c.dirty)
+	for i, d := range c.dirty {
+		st.Dirty[i] = d != 0
+	}
 	return st
 }
 
@@ -319,7 +479,13 @@ func (c *Core) Restore(st State) error {
 	if err := c.l1.Restore(st.L1); err != nil {
 		return err
 	}
-	copy(c.dirty, st.Dirty)
+	for i, d := range st.Dirty {
+		if d {
+			c.dirty[i] = 1
+		} else {
+			c.dirty[i] = 0
+		}
+	}
 	c.resetTiming()
 	return nil
 }
@@ -350,29 +516,33 @@ func (c *Core) execute(issue sim.Time, in Instr) (issueAt, complete sim.Time) {
 // accessL1 performs the L1 lookup, escalating to the L2 on a miss, and
 // returns the data-ready time (loads) or the update time (stores).
 func (c *Core) accessL1(at sim.Time, b mem.Block, store bool) sim.Time {
-	if idx, hit := c.l1.TouchAt(b); hit {
+	// One fused set scan covers the hit promote and the miss install (the
+	// scalar TouchAt-then-InsertAt sequence searched the set twice on a
+	// miss).
+	idx, hit, victim, evicted := c.l1.TouchOrInsertAt(b)
+	if hit {
 		c.res.L1DHits++
 		c.cum.l1dHits++
 		if store {
-			c.dirty[idx] = true
+			c.dirty[idx] = 1
 		}
 		return at + c.sys.L1Latency
 	}
 	c.res.L1DMisses++
 	c.cum.l1dMisses++
-	idx, victim, evicted := c.l1.InsertAt(b)
-	if evicted && c.dirty[idx] {
+	if evicted && c.dirty[idx] != 0 {
 		// Dirty writeback to the L2 (the TLC "store" path: written
 		// without a tag comparison, fire-and-forget).
 		c.l2.Access(at, mem.Request{Block: victim, Type: mem.Store})
 		c.res.L2Stores++
 		c.cum.l2Stores++
 	}
-	c.dirty[idx] = store
 	if store {
+		c.dirty[idx] = 1
 		// Write-allocate without fetch: timing-only model.
 		return at + c.sys.L1Latency
 	}
+	c.dirty[idx] = 0
 	// Load miss: bounded by the outstanding-request limit.
 	start := c.mshrAdmit(at)
 	out := c.l2.Access(start, mem.Request{Block: b, Type: mem.Load})

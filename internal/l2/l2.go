@@ -52,6 +52,18 @@ type Cache interface {
 	Contains(b mem.Block) bool
 }
 
+// Warmer is the bulk counterpart of Cache.Warm, the fused warm kernel of
+// the batched delivery protocol: WarmBulk functionally installs every block
+// of the slice, in slice order, with no timing — one interface dispatch and
+// one pass of hoisted address arithmetic per batch instead of per block.
+// Implementations must leave the cache in exactly the state len(blocks)
+// successive Warm calls would (the batched/scalar equivalence gate pins
+// this per design). The slice remains owned by the caller and may be reused
+// immediately after the call returns.
+type Warmer interface {
+	WarmBulk(blocks []mem.Block)
+}
+
 // Instrumented is a Cache wired into the instrumentation spine: it exposes
 // the common access stats and the full metrics registry every layer
 // published into at construction. The harness reports exclusively through

@@ -434,6 +434,16 @@ func (d *DNUCA) fill(at sim.Time, col int, local mem.Block) {
 
 // Warm implements l2.Cache: the functional load path with no timing, so
 // warm-up reaches the same steady-state placement the timed run would.
+// WarmBulk implements l2.Warmer. DNUCA's warm placement is inherently
+// stateful per block (row search, free-way scan, promotion), so the bulk
+// kernel only amortizes the interface dispatch; state evolution is exactly
+// per-block Warm in slice order.
+func (d *DNUCA) WarmBulk(blocks []mem.Block) {
+	for _, b := range blocks {
+		d.Warm(b)
+	}
+}
+
 func (d *DNUCA) Warm(b mem.Block) {
 	col := d.colOf(b)
 	local := d.local(b)

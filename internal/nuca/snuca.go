@@ -196,6 +196,20 @@ func (s *SNUCA) Warm(b mem.Block) {
 	s.banks[idx].Array.Insert(s.local(b))
 }
 
+// WarmBulk implements l2.Warmer: the fused warm kernel. One dispatch
+// installs the whole batch, with the bank-select arithmetic (the Log2 loop
+// bankOf repays per block) hoisted out of the loop. State evolution is
+// identical to per-block Warm calls in slice order.
+func (s *SNUCA) WarmBulk(blocks []mem.Block) {
+	bits := mem.Log2(s.p.Banks)
+	for _, b := range blocks {
+		idx := int(mem.FoldHash(uint64(b), bits))
+		// TouchOrInsertAt leaves the array exactly as Insert would, in one
+		// set scan instead of Insert's find-then-place pair.
+		s.banks[idx].Array.TouchOrInsertAt(b >> uint(bits))
+	}
+}
+
 // Contains implements l2.Cache.
 func (s *SNUCA) Contains(b mem.Block) bool {
 	idx, _, _ := s.bankOf(b)

@@ -1,0 +1,49 @@
+package nuca
+
+import (
+	"testing"
+
+	"tlc/internal/l2"
+	"tlc/internal/mem"
+)
+
+// TestWarmBulkMatchesWarm pins both NUCA designs' fused warm kernels to
+// their scalar Warm paths: delivering a block sequence through WarmBulk must
+// leave the cache bit-identical to per-block Warm calls, and allocate
+// nothing at steady state.
+func TestWarmBulkMatchesWarm(t *testing.T) {
+	builds := []struct {
+		name string
+		mk   func() l2.Instrumented
+	}{
+		{"SNUCA2", func() l2.Instrumented { return NewSNUCA(testMemLat) }},
+		{"DNUCA", func() l2.Instrumented { return NewDNUCA(testMemLat) }},
+	}
+	for _, tc := range builds {
+		t.Run(tc.name, func(t *testing.T) {
+			scalar := tc.mk()
+			bulk := tc.mk().(l2.Warmer)
+			blocks := make([]mem.Block, 4096)
+			for i := range blocks {
+				// A mix of conflicting and fresh blocks exercises eviction
+				// and (for DNUCA) the insert-far placement scan.
+				blocks[i] = mem.Block(uint64(i*37) % 1024)
+			}
+			for _, b := range blocks {
+				scalar.Warm(b)
+			}
+			bulk.WarmBulk(blocks[:1000])
+			bulk.WarmBulk(blocks[1000:])
+			bc := bulk.(l2.Cache)
+			for _, b := range blocks {
+				if scalar.Contains(b) != bc.Contains(b) {
+					t.Fatalf("%s: residency of %d diverges: scalar %v bulk %v",
+						tc.name, b, scalar.Contains(b), bc.Contains(b))
+				}
+			}
+			if allocs := testing.AllocsPerRun(20, func() { bulk.WarmBulk(blocks) }); allocs != 0 {
+				t.Errorf("%s: WarmBulk allocates %.2f per call, want 0", tc.name, allocs)
+			}
+		})
+	}
+}

@@ -95,6 +95,13 @@ func (e *Estimate) CyclesCI() float64 { return e.CPI.CI95() * float64(e.Total) }
 // opt.Length detailed instructions. The stream advances exactly total
 // instructions. observe, if non-nil, is called after each detailed
 // interval. Options must have been validated.
+//
+// Both phases ride the batched delivery protocol: the fast-forward
+// stretches take cpu.Core.Warm's MemStream fast path (non-memory
+// instructions skipped as run-length counts, bulk L2 installs), and the
+// detailed intervals consume cpu.BatchStream batches. Streams that
+// implement neither fall back to scalar Next delivery with identical
+// results.
 func Run(core *cpu.Core, s cpu.Stream, total uint64, opt Options, observe func(Interval)) Estimate {
 	n := uint64(opt.Intervals)
 	detailed := n * opt.Length

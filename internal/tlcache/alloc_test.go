@@ -1,0 +1,39 @@
+package tlcache
+
+import (
+	"testing"
+
+	"tlc/internal/config"
+	"tlc/internal/mem"
+)
+
+// TestWarmBulkMatchesWarm pins the fused warm kernel to the scalar Warm
+// path: delivering a block sequence through WarmBulk must leave the cache
+// bit-identical to per-block Warm calls, and allocate nothing.
+func TestWarmBulkMatchesWarm(t *testing.T) {
+	for _, d := range config.TLCFamily() {
+		t.Run(d.String(), func(t *testing.T) {
+			scalar := New(d, testMemLat)
+			bulk := New(d, testMemLat)
+			blocks := make([]mem.Block, 4096)
+			for i := range blocks {
+				// A mix of conflicting and fresh blocks exercises eviction.
+				blocks[i] = mem.Block(uint64(i*37) % 1024)
+			}
+			for _, b := range blocks {
+				scalar.Warm(b)
+			}
+			bulk.WarmBulk(blocks[:1000])
+			bulk.WarmBulk(blocks[1000:])
+			for _, b := range blocks {
+				if scalar.Contains(b) != bulk.Contains(b) {
+					t.Fatalf("%s: residency of %d diverges: scalar %v bulk %v",
+						d, b, scalar.Contains(b), bulk.Contains(b))
+				}
+			}
+			if allocs := testing.AllocsPerRun(20, func() { bulk.WarmBulk(blocks) }); allocs != 0 {
+				t.Errorf("%s: WarmBulk allocates %.2f per call, want 0", d, allocs)
+			}
+		})
+	}
+}

@@ -437,6 +437,22 @@ func (c *Cache) Warm(b mem.Block) {
 	c.syncPTag(g, local)
 }
 
+// WarmBulk implements l2.Warmer: the fused warm kernel. The group-select
+// arithmetic (the Log2 loop groupOf repays per block) is hoisted out of the
+// loop; each block's install and partial-tag resync match Warm exactly, so
+// state evolution is identical to per-block Warm calls in slice order.
+func (c *Cache) WarmBulk(blocks []mem.Block) {
+	bits := mem.Log2(c.p.Groups())
+	for _, b := range blocks {
+		g := int(mem.FoldHash(uint64(b), bits))
+		local := b >> uint(bits)
+		// TouchOrInsertAt leaves the group array exactly as Insert would,
+		// in one set scan instead of Insert's find-then-place pair.
+		c.groups[g].TouchOrInsertAt(local)
+		c.syncPTag(g, local)
+	}
+}
+
 // Contains implements l2.Cache.
 func (c *Cache) Contains(b mem.Block) bool {
 	g, local := c.groupOf(b)

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"tlc/internal/cpu"
+	"tlc/internal/workload"
+)
+
+// writeSeeker adapts a bytes.Buffer for the trace writer's header patch.
+type writeSeeker struct {
+	buf []byte
+	pos int
+}
+
+func (w *writeSeeker) Write(p []byte) (int, error) {
+	if n := w.pos + len(p); n > len(w.buf) {
+		w.buf = append(w.buf, make([]byte, n-len(w.buf))...)
+	}
+	copy(w.buf[w.pos:], p)
+	w.pos += len(p)
+	return len(p), nil
+}
+
+func (w *writeSeeker) Seek(off int64, whence int) (int64, error) {
+	switch whence {
+	case io.SeekStart:
+		w.pos = int(off)
+	case io.SeekCurrent:
+		w.pos += int(off)
+	case io.SeekEnd:
+		w.pos = len(w.buf) + int(off)
+	}
+	return int64(w.pos), nil
+}
+
+// captureTestTrace records a short generator prefix (odd length, so batch
+// reads exercise wrap-around mid-buffer).
+func captureTestTrace(t *testing.T) *Reader {
+	t.Helper()
+	spec, ok := workload.SpecByName("gcc")
+	if !ok {
+		t.Fatal("unknown benchmark gcc")
+	}
+	var ws writeSeeker
+	if _, err := Capture(&ws, workload.New(spec, 5), 10_007); err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	r, err := NewReader(bytes.NewReader(ws.buf))
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	return r
+}
+
+// TestReaderNextBatchMatchesNext pins batched replay bit-identical to scalar
+// replay, including wrap-around inside a batch.
+func TestReaderNextBatchMatchesNext(t *testing.T) {
+	scalar := captureTestTrace(t)
+	batched := captureTestTrace(t)
+	buf := make([]cpu.Instr, 4096)
+	sizes := []int{1, 3, 64, 1000, 4096}
+	for round := 0; round < 30; round++ {
+		n := sizes[round%len(sizes)]
+		if got := batched.NextBatch(buf[:n]); got != n {
+			t.Fatalf("NextBatch(%d) = %d", n, got)
+		}
+		for i := 0; i < n; i++ {
+			if want := scalar.Next(); buf[i] != want {
+				t.Fatalf("round %d instr %d: batched %+v != scalar %+v", round, i, buf[i], want)
+			}
+		}
+	}
+	if scalar.pos != batched.pos {
+		t.Fatalf("replay position diverged: scalar %d batched %d", scalar.pos, batched.pos)
+	}
+}
+
+// TestReaderNextMemsMatchesNext pins the reader's warm fast path: the
+// materialized memory operations match the scalar stream's IsMem records in
+// order, and the replay position after each call is identical.
+func TestReaderNextMemsMatchesNext(t *testing.T) {
+	scalar := captureTestTrace(t)
+	fast := captureTestTrace(t)
+	buf := make([]cpu.MemRef, 129)
+	var consumedTotal uint64
+	const total = 60_000 // several trace wraps
+	for consumedTotal < total {
+		n, consumed := fast.NextMems(buf, total-consumedTotal)
+		if consumed == 0 {
+			t.Fatal("NextMems made no progress")
+		}
+		consumedTotal += consumed
+		got := 0
+		for i := uint64(0); i < consumed; i++ {
+			in := scalar.Next()
+			if !in.IsMem {
+				continue
+			}
+			if buf[got].Block != in.Block || buf[got].Store != in.IsStore {
+				t.Fatalf("mem op %d: fast {%d %v} != scalar {%d %v}",
+					got, buf[got].Block, buf[got].Store, in.Block, in.IsStore)
+			}
+			got++
+		}
+		if got != n {
+			t.Fatalf("NextMems reported %d mem ops, scalar span has %d", n, got)
+		}
+		if scalar.pos != fast.pos {
+			t.Fatalf("replay position diverged after %d instructions", consumedTotal)
+		}
+	}
+}

@@ -203,6 +203,42 @@ func (r *Reader) Next() cpu.Instr {
 	return in
 }
 
+// NextBatch implements cpu.BatchStream: copy runs of records into buf,
+// wrapping at the trace end, so batched delivery is a memcpy instead of one
+// interface call per instruction.
+func (r *Reader) NextBatch(buf []cpu.Instr) int {
+	for filled := 0; filled < len(buf); {
+		n := copy(buf[filled:], r.records[r.pos:])
+		filled += n
+		r.pos += n
+		if r.pos == len(r.records) {
+			r.pos = 0
+		}
+	}
+	return len(buf)
+}
+
+// NextMems implements cpu.MemStream: scan up to maxInstr records, skipping
+// non-memory instructions and materializing memory operations into buf. The
+// replay position after the call is exactly where the same instructions
+// delivered through Next would have left it.
+func (r *Reader) NextMems(buf []cpu.MemRef, maxInstr uint64) (n int, consumed uint64) {
+	for consumed < maxInstr && n < len(buf) {
+		in := r.records[r.pos]
+		r.pos++
+		if r.pos == len(r.records) {
+			r.pos = 0
+		}
+		consumed++
+		if !in.IsMem {
+			continue
+		}
+		buf[n] = cpu.MemRef{Block: in.Block, Store: in.IsStore}
+		n++
+	}
+	return n, consumed
+}
+
 // Rewind restarts replay from the first record.
 func (r *Reader) Rewind() { r.pos = 0 }
 

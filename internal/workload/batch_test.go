@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"testing"
+
+	"tlc/internal/cpu"
+)
+
+// batchSpecs picks three structurally different benchmarks: a small-footprint
+// SPECint (hit-dominated), a streaming SPECfp (stream/recent paths), and a
+// commercial workload (sliding cold window) — together they cover every
+// branch of nextBlock.
+func batchSpecs(t *testing.T) []Spec {
+	t.Helper()
+	var out []Spec
+	for _, name := range []string{"gcc", "swim", "oltp"} {
+		s, ok := SpecByName(name)
+		if !ok {
+			t.Fatalf("unknown benchmark %q", name)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// TestNextBatchMatchesNext pins the batched delivery path bit-identical to
+// scalar Next: same instructions, same post-call stream state, same
+// observation counters — including when batch sizes vary and when scalar and
+// batched delivery interleave mid-stream.
+func TestNextBatchMatchesNext(t *testing.T) {
+	for _, spec := range batchSpecs(t) {
+		t.Run(spec.Name, func(t *testing.T) {
+			scalar := New(spec, 7)
+			batched := New(spec, 7)
+			sizes := []int{1, 3, 64, 1000, 4096}
+			buf := make([]cpu.Instr, 4096)
+			pos := 0
+			for round := 0; round < 40; round++ {
+				n := sizes[round%len(sizes)]
+				if got := batched.NextBatch(buf[:n]); got != n {
+					t.Fatalf("NextBatch(%d) = %d", n, got)
+				}
+				for i := 0; i < n; i++ {
+					want := scalar.Next()
+					if buf[i] != want {
+						t.Fatalf("instr %d: batched %+v != scalar %+v", pos+i, buf[i], want)
+					}
+				}
+				pos += n
+				// Interleave a stretch of scalar delivery on the batched
+				// generator: the protocols must be freely mixable.
+				for i := 0; i < 17; i++ {
+					want := scalar.Next()
+					if got := batched.Next(); got != want {
+						t.Fatalf("interleaved instr: batched %+v != scalar %+v", got, want)
+					}
+				}
+				pos += 17
+			}
+			if scalar.State() != batched.State() {
+				t.Fatalf("stream state diverged: scalar %+v batched %+v", scalar.State(), batched.State())
+			}
+			if scalar.counters != batched.counters {
+				t.Fatalf("counters diverged: scalar %+v batched %+v", scalar.counters, batched.counters)
+			}
+		})
+	}
+}
+
+// TestNextMemsMatchesNext pins the warm fast path bit-identical to scalar
+// delivery: the materialized memory operations match the IsMem instructions
+// of the scalar stream in order, the skipped non-memory runs advance the RNG
+// identically (post-call State equality proves it), and the observation
+// counters agree.
+func TestNextMemsMatchesNext(t *testing.T) {
+	for _, spec := range batchSpecs(t) {
+		t.Run(spec.Name, func(t *testing.T) {
+			scalar := New(spec, 11)
+			fast := New(spec, 11)
+			buf := make([]cpu.MemRef, 257)
+			var consumedTotal uint64
+			const total = 300_000
+			for consumedTotal < total {
+				n, consumed := fast.NextMems(buf, total-consumedTotal)
+				if consumed == 0 {
+					t.Fatal("NextMems made no progress")
+				}
+				consumedTotal += consumed
+				// The scalar arm replays the same instruction span.
+				got := 0
+				for i := uint64(0); i < consumed; i++ {
+					in := scalar.Next()
+					if !in.IsMem {
+						continue
+					}
+					if got >= n {
+						t.Fatalf("scalar stream has more mem ops than NextMems reported (%d)", n)
+					}
+					if buf[got].Block != in.Block || buf[got].Store != in.IsStore {
+						t.Fatalf("mem op %d: fast {%d %v} != scalar {%d %v}",
+							got, buf[got].Block, buf[got].Store, in.Block, in.IsStore)
+					}
+					got++
+				}
+				if got != n {
+					t.Fatalf("NextMems reported %d mem ops, scalar span has %d", n, got)
+				}
+				if scalar.State() != fast.State() {
+					t.Fatalf("stream state diverged after %d instructions", consumedTotal)
+				}
+			}
+			// Mispredict/memOp/store counters must match; the region counters
+			// advance inside nextBlock on both paths.
+			if scalar.counters != fast.counters {
+				t.Fatalf("counters diverged: scalar %+v fast %+v", scalar.counters, fast.counters)
+			}
+			// After a warm stretch, detailed delivery must continue
+			// seamlessly on both generators.
+			for i := 0; i < 10_000; i++ {
+				if got, want := fast.Next(), scalar.Next(); got != want {
+					t.Fatalf("post-warm instr %d: %+v != %+v", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestNextBatchDoesNotAllocate pins batched delivery at zero allocations per
+// call at steady state, for both the detailed and the warm-mode entry
+// points.
+func TestNextBatchDoesNotAllocate(t *testing.T) {
+	spec, _ := SpecByName("oltp")
+	g := New(spec, 3)
+	buf := make([]cpu.Instr, 4096)
+	mems := make([]cpu.MemRef, 2048)
+	g.NextBatch(buf)
+	g.NextMems(mems, 1<<20)
+	if allocs := testing.AllocsPerRun(20, func() { g.NextBatch(buf) }); allocs != 0 {
+		t.Errorf("NextBatch allocates %.2f per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { g.NextMems(mems, 1<<20) }); allocs != 0 {
+		t.Errorf("NextMems allocates %.2f per call, want 0", allocs)
+	}
+}

@@ -1,5 +1,7 @@
 package workload
 
+import "math/bits"
+
 // prng is the generator's random source: xoshiro256** seeded through a
 // splitmix64 expansion. It replaces math/rand, whose generator hides its
 // state — the warm-state checkpointing in internal/snapshot must capture
@@ -39,6 +41,37 @@ func (p *prng) setState(s [4]uint64) { p.s = s }
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
+// xoDraw is one xoshiro256** step on register-resident state: it returns
+// the drawn value and the successor state. The fused NextMems kernel carries
+// the whole stream position through locals, so after inlining each draw is
+// pure ALU work — no loads or stores of the generator's state. The value and
+// transition are bit-identical to Uint64.
+func xoDraw(s0, s1, s2, s3 uint64) (v, r0, r1, r2, r3 uint64) {
+	v = rotl(s1*5, 7) * 9
+	t := s1 << 17
+	s2 ^= s0
+	s3 ^= s1
+	s1 ^= s2
+	s0 ^= s3
+	s2 ^= t
+	s3 = rotl(s3, 45)
+	return v, s0, s1, s2, s3
+}
+
+// xoAdvance is xoDraw without the output scrambler, for draws whose values
+// are never observed (the ** output only shapes the value; the state
+// transition is independent of it). Bit-identical to drawing and discarding.
+func xoAdvance(s0, s1, s2, s3 uint64) (r0, r1, r2, r3 uint64) {
+	t := s1 << 17
+	s2 ^= s0
+	s3 ^= s1
+	s1 ^= s2
+	s0 ^= s3
+	s2 ^= t
+	s3 = rotl(s3, 45)
+	return s0, s1, s2, s3
+}
+
 // Uint64 draws the next value (xoshiro256**).
 func (p *prng) Uint64() uint64 {
 	result := rotl(p.s[1]*5, 7) * 9
@@ -71,4 +104,57 @@ func (p *prng) Int63n(n int64) int64 {
 // Intn draws uniformly from [0,n). n must be positive.
 func (p *prng) Intn(n int) int {
 	return int(p.Int63n(int64(n)))
+}
+
+// invDiv is a precomputed divisor for division-free exact remainders: the
+// generator's region sizes are fixed at construction, so the 64-bit
+// division Int63n pays per draw can be replaced with a multiply-high and a
+// bounded correction. mod(v) returns exactly v % n.
+type invDiv struct {
+	n uint64
+	// m approximates 2^64/n from below; mulhi(v, m) is then within 2 of
+	// v/n, and the correction loop settles the exact remainder.
+	m uint64
+}
+
+// newInvDiv precomputes the reciprocal for a positive divisor.
+func newInvDiv(n uint64) invDiv {
+	return invDiv{n: n, m: ^uint64(0) / n}
+}
+
+// mod returns v % d.n, bit-identical to the hardware remainder. The
+// reciprocal underestimates the quotient by at most 2, so two conditional
+// subtracts settle it exactly; straight-line code keeps mod inlinable into
+// the batch kernels.
+func (d invDiv) mod(v uint64) uint64 {
+	hi, _ := bits.Mul64(v, d.m)
+	r := v - hi*d.n
+	if r >= d.n {
+		r -= d.n
+	}
+	if r >= d.n {
+		r -= d.n
+	}
+	return r
+}
+
+// f64Threshold converts a Float64 probability compare into an integer
+// compare on the raw draw: Float64() < p tests (u>>11)/2^53 < p, and with a
+// 53-bit integer left side that is exactly u>>11 < ceil(p·2^53). The scale
+// by 2^53 is a power-of-two exponent shift, so p·2^53 is computed without
+// rounding and the returned threshold reproduces the float compare
+// bit-identically for every draw.
+func f64Threshold(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1 << 53
+	}
+	scaled := p * (1 << 53)
+	t := uint64(scaled)
+	if float64(t) < scaled {
+		t++ // ceil: scaled was not an integer
+	}
+	return t
 }

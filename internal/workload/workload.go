@@ -14,6 +14,7 @@ package workload
 
 import (
 	"fmt"
+	"math/bits"
 
 	"tlc/internal/cpu"
 	"tlc/internal/l2"
@@ -97,6 +98,11 @@ type Generator struct {
 	windowHead                      uint64
 	reverse                         map[mem.Block]uint64
 
+	// Precomputed reciprocals for the fixed-size region draws: every
+	// region size is pinned at construction, so the modulo each draw pays
+	// becomes a multiply (invDiv). Values are bit-identical to Int63n.
+	l1Div, coldDiv, windowDiv, recentDiv invDiv
+
 	// memCredit implements the deterministic memory-op density.
 	memCredit float64
 
@@ -125,7 +131,7 @@ func New(spec Spec, seed int64) *Generator {
 	if cold == 0 {
 		cold = 1
 	}
-	return &Generator{
+	g := &Generator{
 		spec:       spec,
 		rng:        newPRNG(seed),
 		l1Blocks:   max64(l1, 1),
@@ -135,6 +141,15 @@ func New(spec Spec, seed int64) *Generator {
 		hotBase:    l1,
 		coldBase:   l1 + hot,
 	}
+	g.l1Div = newInvDiv(g.l1Blocks)
+	g.coldDiv = newInvDiv(g.coldBlocks)
+	window := uint64(spec.ColdWindowMB * blocksPerMB)
+	if window == 0 || window > g.coldBlocks {
+		window = g.coldBlocks
+	}
+	g.windowDiv = newInvDiv(window)
+	g.recentDiv = newInvDiv(15 * 1024)
+	return g
 }
 
 func max64(a, b uint64) uint64 {
@@ -246,6 +261,308 @@ func (g *Generator) Next() cpu.Instr {
 	return cpu.Instr{IsMem: true, IsStore: isStore, Block: blk, Dep: dep}
 }
 
+// NextBatch implements cpu.BatchStream: it fills buf with the identical
+// instruction sequence len(buf) Next calls would produce, in one pass with
+// the per-spec constants hoisted out of the loop. The batched and scalar
+// paths draw from the RNG in exactly the same order, so they are
+// interchangeable mid-stream (TestNextBatchMatchesNext pins this).
+func (g *Generator) NextBatch(buf []cpu.Instr) int {
+	serial := g.spec.SerialFrac
+	if serial == 0 {
+		serial = 0.35
+	}
+	every := g.spec.MispredictEvery
+	if every == 0 {
+		every = 250
+	}
+	frac := g.spec.MemFrac
+	for i := range buf {
+		g.memCredit += frac
+		if g.memCredit < 1 {
+			in := cpu.Instr{}
+			if g.rng.Float64() < serial {
+				in.Dep = true
+			}
+			if g.rng.Intn(every) == 0 {
+				in.Mispredict = true
+				g.counters.mispredicts++
+			}
+			buf[i] = in
+			continue
+		}
+		g.memCredit--
+		blk := g.nextBlock()
+		isStore := g.rng.Float64() < g.spec.StoreFrac
+		dep := !isStore && g.rng.Float64() < g.spec.DepFrac
+		g.counters.memOps++
+		if isStore {
+			g.counters.stores++
+		}
+		buf[i] = cpu.Instr{IsMem: true, IsStore: isStore, Block: blk, Dep: dep}
+	}
+	return len(buf)
+}
+
+// NextMems implements cpu.MemStream, the functional-warm fast path: it
+// consumes up to maxInstr instructions, materializing only the memory
+// operations into buf and skipping the non-memory runs in between. It is a
+// fully fused kernel — the RNG words, phase variables, and credit ride in
+// locals for the whole loop, probability compares run in the integer draw
+// domain (f64Threshold), and the region draws use the precomputed
+// reciprocals — but every draw and branch replays Next's sequence exactly,
+// so the generator's stream position, every instruction any later Next or
+// NextBatch call produces, and the observation counters stay bit-identical
+// to the scalar path (TestNextMemsMatchesNext pins this).
+func (g *Generator) NextMems(buf []cpu.MemRef, maxInstr uint64) (n int, consumed uint64) {
+	if len(buf) == 0 {
+		return 0, 0
+	}
+	every := uint64(g.spec.MispredictEvery)
+	if every == 0 {
+		every = 250
+	}
+	// Division-free divisibility test for the mispredict check (Hacker's
+	// Delight 10-17): with every = 2^k·m (m odd) and m⁻¹ the odd-part
+	// inverse mod 2⁶⁴, v % every == 0 iff rotr(v·m⁻¹, k) ≤ ⌊(2⁶⁴-1)/every⌋
+	// — for a divisible v the product is (v/every)·2^k with zero low bits,
+	// while any remainder either leaves low bits for the rotation to hoist
+	// into the high end or overflows the quotient bound. The inverse
+	// converges in five Newton steps. One setup per call, amortized over
+	// the batch, replaces a 64-bit division per skipped instruction with a
+	// multiply, a rotate, and one compare whose branch is taken once every
+	// `every` instructions — crucially, no 50/50 branch on a random low
+	// bit, which a two-part test would hand the branch predictor.
+	k := bits.TrailingZeros64(every)
+	m := every >> k
+	minv := m
+	for i := 0; i < 5; i++ {
+		minv *= 2 - m*minv
+	}
+	divThresh := ^uint64(0) / every
+
+	// Integer thresholds for the probability draws. The region cutpoints
+	// replicate nextBlock's incremental float sums before scaling, so the
+	// partition of the draw space is bit-identical to the float compares.
+	t1f := g.spec.L1Frac
+	t2f := t1f + g.spec.HotFrac
+	t3f := t2f + g.spec.StreamFrac
+	t4f := t3f + g.spec.RecentFrac
+	t1, t2, t3, t4 := f64Threshold(t1f), f64Threshold(t2f), f64Threshold(t3f), f64Threshold(t4f)
+	storeT := f64Threshold(g.spec.StoreFrac)
+	turnoverT := f64Threshold(g.spec.ColdTurnover)
+	skewT := f64Threshold(0.8)
+
+	frac := g.spec.MemFrac
+	repeat := g.spec.StreamRepeat
+	if repeat <= 0 {
+		repeat = 8
+	}
+	hotSkew, coldSkew := g.spec.HotSkew, g.spec.ColdSkew
+	windowed := g.spec.ColdWindowMB > 0
+	l1Base, hotBase, coldBase := g.l1Base, g.hotBase, g.coldBase
+	hotBlocks, coldBlocks := g.hotBlocks, g.coldBlocks
+	l1Div, coldDiv, windowDiv, recentDiv := g.l1Div, g.coldDiv, g.windowDiv, g.recentDiv
+	// One 80/20 narrowing level (the common spec) leaves only two possible
+	// final-draw widths — the kept first fifth or its complement — so both
+	// reciprocals are computed here (two divisions, amortized over the
+	// batch) and the hot-region draw below selects one instead of running a
+	// hardware divide with a data-dependent divisor per reference.
+	hotCut := hotBlocks / 5
+	var hotDivA, hotDivB invDiv
+	if hotSkew == 1 && hotBlocks > 5 {
+		hotDivA, hotDivB = newInvDiv(hotCut), newInvDiv(hotBlocks-hotCut)
+	}
+	coldCut := coldBlocks / 5
+	var coldDivA, coldDivB invDiv
+	if coldSkew == 1 && coldBlocks > 5 {
+		coldDivA, coldDivB = newInvDiv(coldCut), newInvDiv(coldBlocks-coldCut)
+	}
+
+	// The complete stream position in locals: one load here, one store at
+	// the bottom.
+	s0, s1, s2, s3 := g.rng.s[0], g.rng.s[1], g.rng.s[2], g.rng.s[3]
+	credit := g.memCredit
+	ptr, left, head := g.streamPtr, g.streamLeft, g.windowHead
+	// The hot counters ride in locals; the per-region tallies (at most one
+	// per memory op) update their fields directly to keep the loop's live
+	// register set small.
+	var mispredicts, memOps, stores uint64
+
+	// The buffer-full check rides on the memory path (the only writer), not
+	// the per-instruction loop condition — the skip path's loop overhead is
+	// one compare.
+	for consumed < maxInstr {
+		credit += frac
+		consumed++
+		var v uint64
+		if credit < 1 {
+			// Non-memory instruction: the serial-dep draw is unobserved
+			// (state advance only); the mispredict draw feeds the counter.
+			s0, s1, s2, s3 = xoAdvance(s0, s1, s2, s3)
+			v, s0, s1, s2, s3 = xoDraw(s0, s1, s2, s3)
+			if bits.RotateLeft64(v*minv, -k) <= divThresh {
+				mispredicts++
+			}
+			continue
+		}
+		credit--
+
+		// nextBlock, fused. Region select first.
+		v, s0, s1, s2, s3 = xoDraw(s0, s1, s2, s3)
+		u := v >> 11
+		var id uint64
+		switch {
+		case u < t1:
+			g.counters.l1Refs++
+			v, s0, s1, s2, s3 = xoDraw(s0, s1, s2, s3)
+			id = l1Base + l1Div.mod(v)
+		case u < t2:
+			g.counters.hotRefs++
+			if hotSkew == 1 && hotBlocks > 5 {
+				// Single narrowing level: the keep/descend draw selects
+				// between the two precomputed widths with conditional
+				// moves — the 80/20 outcome is data-random, so nothing
+				// here may branch on it.
+				v, s0, s1, s2, s3 = xoDraw(s0, s1, s2, s3)
+				keep := v>>11 < skewT
+				lo, d := uint64(0), hotDivA
+				if !keep {
+					lo = hotCut
+				}
+				if !keep {
+					d = hotDivB
+				}
+				v, s0, s1, s2, s3 = xoDraw(s0, s1, s2, s3)
+				id = hotBase + lo + d.mod(v)
+				break
+			}
+			lo, hi := uint64(0), hotBlocks
+			for level := 0; level < hotSkew && hi-lo > 5; level++ {
+				v, s0, s1, s2, s3 = xoDraw(s0, s1, s2, s3)
+				// The 80/20 narrowing draw is data-random; both candidate
+				// bounds are computed and one selected, keeping it off the
+				// branch predictor.
+				cut := lo + (hi-lo)/5
+				keep := v>>11 < skewT
+				if keep {
+					hi = cut
+				}
+				if !keep {
+					lo = cut
+				}
+			}
+			v, s0, s1, s2, s3 = xoDraw(s0, s1, s2, s3)
+			id = hotBase + lo + v%(hi-lo)
+		case u < t3:
+			g.counters.streamRefs++
+			if left <= 0 {
+				// (ptr+1) % coldBlocks: ptr stays < coldBlocks, so the
+				// wrap is a single compare.
+				ptr++
+				if ptr >= coldBlocks {
+					ptr = 0
+				}
+				left = repeat
+			}
+			left--
+			id = coldBase + ptr
+		case u < t4:
+			g.counters.recentRefs++
+			v, s0, s1, s2, s3 = xoDraw(s0, s1, s2, s3)
+			delta := 1024 + recentDiv.mod(v)
+			if delta >= coldBlocks {
+				delta = coldBlocks - 1
+			}
+			idx := ptr + coldBlocks - delta
+			if idx >= coldBlocks {
+				idx -= coldBlocks
+			}
+			id = coldBase + idx
+		default:
+			g.counters.coldRefs++
+			switch {
+			case windowed:
+				// windowRef, fused.
+				v, s0, s1, s2, s3 = xoDraw(s0, s1, s2, s3)
+				if v>>11 < turnoverT {
+					head++
+					if head >= coldBlocks {
+						head = 0
+					}
+					id = coldBase + head
+				} else {
+					v, s0, s1, s2, s3 = xoDraw(s0, s1, s2, s3)
+					back := windowDiv.mod(v)
+					idx := head + coldBlocks - back
+					if idx >= coldBlocks {
+						idx -= coldBlocks
+					}
+					id = coldBase + idx
+				}
+			case coldSkew == 1 && coldBlocks > 5:
+				v, s0, s1, s2, s3 = xoDraw(s0, s1, s2, s3)
+				keep := v>>11 < skewT
+				lo, d := uint64(0), coldDivA
+				if !keep {
+					lo = coldCut
+				}
+				if !keep {
+					d = coldDivB
+				}
+				v, s0, s1, s2, s3 = xoDraw(s0, s1, s2, s3)
+				id = coldBase + lo + d.mod(v)
+			case coldSkew > 0:
+				lo, hi := uint64(0), coldBlocks
+				for level := 0; level < coldSkew && hi-lo > 5; level++ {
+					v, s0, s1, s2, s3 = xoDraw(s0, s1, s2, s3)
+					cut := lo + (hi-lo)/5
+					keep := v>>11 < skewT
+					if keep {
+						hi = cut
+					}
+					if !keep {
+						lo = cut
+					}
+				}
+				v, s0, s1, s2, s3 = xoDraw(s0, s1, s2, s3)
+				id = coldBase + lo + v%(hi-lo)
+			default:
+				v, s0, s1, s2, s3 = xoDraw(s0, s1, s2, s3)
+				id = coldBase + coldDiv.mod(v)
+			}
+		}
+
+		v, s0, s1, s2, s3 = xoDraw(s0, s1, s2, s3)
+		isStore := v>>11 < storeT
+		// The dep draw Next takes for loads; its value is unobserved. The
+		// advanced state is computed unconditionally and selected, keeping
+		// the randomly-taken store/load split off the branch predictor.
+		a0, a1, a2, a3 := xoAdvance(s0, s1, s2, s3)
+		if !isStore {
+			s0, s1, s2, s3 = a0, a1, a2, a3
+		}
+		memOps++
+		var s64 uint64
+		if isStore {
+			s64 = 1
+		}
+		stores += s64
+		buf[n] = cpu.MemRef{Block: layout(id), Store: isStore}
+		n++
+		if n == len(buf) {
+			break
+		}
+	}
+
+	g.rng.s[0], g.rng.s[1], g.rng.s[2], g.rng.s[3] = s0, s1, s2, s3
+	g.memCredit = credit
+	g.streamPtr, g.streamLeft, g.windowHead = ptr, left, head
+	g.counters.mispredicts += mispredicts
+	g.counters.memOps += memOps
+	g.counters.stores += stores
+	return n, consumed
+}
+
 // layout maps the generator's dense internal block ids onto a sparse
 // physical address space: ids stay contiguous within 256 KB chunks (4 K
 // blocks), but chunk numbers scatter pseudo-randomly across a ~1 TB range.
@@ -268,7 +585,10 @@ func layout(id uint64) mem.Block {
 	return mem.Block((chunk&mask)<<chunkBits | id&(1<<chunkBits-1))
 }
 
-// nextBlock picks the next referenced block by region.
+// nextBlock picks the next referenced block by region. It is the scalar
+// reference implementation, kept in its straightforward per-draw form (and
+// as the honest baseline arm of BenchmarkWarmThroughput); NextMems is the
+// optimized kernel that must reproduce its draw sequence bit-exactly.
 func (g *Generator) nextBlock() mem.Block {
 	r := g.rng.Float64()
 	switch {
@@ -401,15 +721,36 @@ func (g *Generator) PreWarm(c l2.Cache) {
 	}
 	// The stream resumes at streamPtr (= 0, i.e. just past cold[N-1]); the
 	// window just behind it is what a long-running process would have
-	// resident, oldest first.
+	// resident, oldest first. Designs supporting bulk warming receive the
+	// blocks in batches (one dispatch per batch, same installation order);
+	// the rest get the per-block Warm calls.
+	warmer, bulk := c.(l2.Warmer)
+	var buf []mem.Block
+	if bulk {
+		buf = make([]mem.Block, 0, 1024)
+	}
+	emit := func(b mem.Block) {
+		if !bulk {
+			c.Warm(b)
+			return
+		}
+		buf = append(buf, b)
+		if len(buf) == cap(buf) {
+			warmer.WarmBulk(buf)
+			buf = buf[:0]
+		}
+	}
 	for i := coldWindow; i > 0; i-- {
-		c.Warm(layout(g.coldBase + g.coldBlocks - i))
+		emit(layout(g.coldBase + g.coldBlocks - i))
 	}
 	for b := g.hotBase; b < g.hotBase+g.hotBlocks; b++ {
-		c.Warm(layout(b))
+		emit(layout(b))
 	}
 	for b := g.l1Base; b < g.l1Base+g.l1Blocks; b++ {
-		c.Warm(layout(b))
+		emit(layout(b))
+	}
+	if bulk && len(buf) > 0 {
+		warmer.WarmBulk(buf)
 	}
 }
 
