@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -29,35 +30,20 @@ import (
 	"time"
 
 	"tlc"
+	"tlc/internal/api"
 	"tlc/internal/cliopt"
 	"tlc/internal/experiments"
 	"tlc/internal/stats"
 )
 
-// record is one completed run's headline metrics.
-type record struct {
-	Design          string  `json:"design"`
-	Benchmark       string  `json:"benchmark"`
-	Cycles          uint64  `json:"cycles"`
-	IPC             float64 `json:"ipc"`
-	MeanLookup      float64 `json:"mean_lookup_cycles"`
-	MissesPer1K     float64 `json:"misses_per_1k"`
-	PredictablePct  float64 `json:"predictable_pct"`
-	LinkUtilization float64 `json:"link_utilization"`
-	NetworkPowerW   float64 `json:"network_power_w"`
-	WallMS          float64 `json:"wall_ms"`
-
-	// Sampled-mode confidence half-widths (95%); omitted for full runs.
-	CyclesCI      float64 `json:"cycles_ci,omitempty"`
-	MeanLookupCI  float64 `json:"mean_lookup_ci,omitempty"`
-	MissesPer1KCI float64 `json:"misses_per_1k_ci,omitempty"`
-
-	// Metrics is the run's full registry snapshot — every counter, gauge,
-	// and histogram each simulation layer registered — so the trajectory
-	// artifact carries far more than the headline columns and any metric
-	// can be diffed across commits (-diff-against).
-	Metrics tlc.MetricsSnapshot `json:"metrics,omitempty"`
-}
+// record is one completed run's headline metrics plus its full
+// metric-registry snapshot, so the trajectory artifact carries every
+// counter, gauge, and histogram the simulation layers registered and any
+// metric can be diffed across commits (-diff-against). The schema is shared
+// with the tlcd service (internal/api): a served run record and a CLI
+// artifact record are interchangeable JSON — the service-only fields simply
+// stay empty here.
+type record = api.RunRecord
 
 // document is the emitted JSON shape.
 type document struct {
@@ -222,7 +208,7 @@ func main() {
 	}
 
 	if *diffAgainst != "" {
-		if err := diffMetrics(*diffAgainst, doc); err != nil {
+		if _, _, err := diffMetrics(*diffAgainst, doc, os.Stderr); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -244,51 +230,62 @@ func main() {
 }
 
 // diffMetrics compares every embedded metric of the current artifact with a
-// previous one, run by run, and reports changed values on stderr. It is the
-// CI trajectory check: after a pure-refactor commit the diff must be empty,
-// and after a modeling change it names exactly which counters moved. A
-// previous artifact without embedded metrics (or with a different grid)
-// diffs only the intersection.
-func diffMetrics(path string, cur document) error {
+// previous one and reports changed values on w. It is the CI trajectory
+// check: after a pure-refactor commit the diff must be empty, and after a
+// modeling change it names exactly which counters moved. A previous
+// artifact without embedded metrics (or with a different grid) diffs only
+// the intersection.
+//
+// The comparison is fully order-independent: runs match by (design,
+// benchmark) key and metrics by name, never by position. A served artifact
+// (tlcd emits records in completion order) or one whose metrics array was
+// reassembled out of sorted order diffs identically to a freshly sorted
+// one — in particular, Snapshot.Value's sorted-order binary search is NOT
+// used on the deserialized previous artifact, which carries no ordering
+// guarantee.
+func diffMetrics(path string, cur document, w io.Writer) (changed, compared int, err error) {
 	raw, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return fmt.Errorf("tlcbench: -diff-against: no previous artifact at %s", path)
+		return 0, 0, fmt.Errorf("tlcbench: -diff-against: no previous artifact at %s", path)
 	}
 	if err != nil {
-		return fmt.Errorf("tlcbench: -diff-against: cannot read %s: %v", path, err)
+		return 0, 0, fmt.Errorf("tlcbench: -diff-against: cannot read %s: %v", path, err)
 	}
 	var prev document
 	if err := json.Unmarshal(raw, &prev); err != nil {
-		return fmt.Errorf("tlcbench: -diff-against: %s is not a tlcbench artifact: %v", path, err)
+		return 0, 0, fmt.Errorf("tlcbench: -diff-against: %s is not a tlcbench artifact: %v", path, err)
 	}
 
-	prevRuns := make(map[string]record, len(prev.Runs))
+	prevRuns := make(map[string]map[string]float64, len(prev.Runs))
 	for _, r := range prev.Runs {
-		prevRuns[r.Design+"/"+r.Benchmark] = r
+		vals := make(map[string]float64, len(r.Metrics))
+		for _, m := range r.Metrics {
+			vals[m.Name] = m.Value
+		}
+		prevRuns[r.Design+"/"+r.Benchmark] = vals
 	}
 
-	changed, compared := 0, 0
 	for _, r := range cur.Runs {
 		p, ok := prevRuns[r.Design+"/"+r.Benchmark]
-		if !ok || len(p.Metrics) == 0 || len(r.Metrics) == 0 {
+		if !ok || len(p) == 0 || len(r.Metrics) == 0 {
 			continue
 		}
 		for _, m := range r.Metrics {
-			old, ok := p.Metrics.Value(m.Name)
+			old, ok := p[m.Name]
 			if !ok {
 				continue
 			}
 			compared++
 			if old != m.Value {
 				changed++
-				fmt.Fprintf(os.Stderr, "metric %s/%s %s: %g -> %g\n",
+				fmt.Fprintf(w, "metric %s/%s %s: %g -> %g\n",
 					r.Design, r.Benchmark, m.Name, old, m.Value)
 			}
 		}
 	}
-	fmt.Fprintf(os.Stderr, "metrics diff vs %s: %d of %d values changed\n",
+	fmt.Fprintf(w, "metrics diff vs %s: %d of %d values changed\n",
 		path, changed, compared)
-	return nil
+	return changed, compared, nil
 }
 
 // sortRecords keeps the emitted order stable regardless of execution order.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -16,7 +17,7 @@ import (
 // not a wrapped *PathError dump.
 func TestDiffMetricsMissingArtifact(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "nope.json")
-	err := diffMetrics(path, document{})
+	_, _, err := diffMetrics(path, document{}, io.Discard)
 	if err == nil {
 		t.Fatalf("diffMetrics(%q) = nil, want error", path)
 	}
@@ -39,7 +40,7 @@ func TestDiffMetricsMalformedArtifact(t *testing.T) {
 	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := diffMetrics(path, document{})
+	_, _, err := diffMetrics(path, document{}, io.Discard)
 	if err == nil {
 		t.Fatalf("diffMetrics(%q) = nil, want error", path)
 	}
@@ -83,7 +84,81 @@ func TestDiffMetricsValidArtifact(t *testing.T) {
 			},
 		}},
 	}
-	if err := diffMetrics(path, cur); err != nil {
+	changed, compared, err := diffMetrics(path, cur, io.Discard)
+	if err != nil {
 		t.Fatalf("diffMetrics on valid artifact: %v", err)
+	}
+	if changed != 1 || compared != 1 {
+		t.Fatalf("diff = %d changed of %d compared, want 1 of 1", changed, compared)
+	}
+}
+
+// TestDiffMetricsOrderIndependent is the regression test for the
+// reordered-artifact bug: a previous artifact with the same values but
+// different run ordering AND unsorted per-run metric arrays (a tlcd-served
+// artifact emits records in completion order; nothing guarantees the
+// deserialized metrics arrays are sorted) must diff as identical — every
+// metric compared, zero changed. The broken version looked metrics up with
+// a sorted-order binary search, so an unsorted previous artifact silently
+// dropped comparisons or matched wrong values.
+func TestDiffMetricsOrderIndependent(t *testing.T) {
+	mk := func(bench string, metrics tlc.MetricsSnapshot) record {
+		return record{Design: "TLC", Benchmark: bench, Metrics: metrics}
+	}
+	// Previous artifact: runs reversed, metric arrays deliberately
+	// anti-sorted.
+	prev := document{Runs: []record{
+		mk("mcf", tlc.MetricsSnapshot{
+			{Name: "noc.flits", Value: 7},
+			{Name: "l2.misses", Value: 4},
+			{Name: "cpu.cycles", Value: 9},
+		}),
+		mk("gcc", tlc.MetricsSnapshot{
+			{Name: "noc.flits", Value: 3},
+			{Name: "l2.misses", Value: 2},
+			{Name: "cpu.cycles", Value: 1},
+		}),
+	}}
+	raw, err := json.Marshal(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "prev.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Current artifact: same values, canonical order.
+	cur := document{Runs: []record{
+		mk("gcc", tlc.MetricsSnapshot{
+			{Name: "cpu.cycles", Value: 1},
+			{Name: "l2.misses", Value: 2},
+			{Name: "noc.flits", Value: 3},
+		}),
+		mk("mcf", tlc.MetricsSnapshot{
+			{Name: "cpu.cycles", Value: 9},
+			{Name: "l2.misses", Value: 4},
+			{Name: "noc.flits", Value: 7},
+		}),
+	}}
+	changed, compared, err := diffMetrics(path, cur, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 0 {
+		t.Errorf("reordered identical artifact reported %d changed metrics, want 0", changed)
+	}
+	if compared != 6 {
+		t.Errorf("compared %d metrics, want all 6", compared)
+	}
+
+	// And a genuine change in an unsorted previous artifact is still found.
+	cur.Runs[0].Metrics[1].Value = 999 // gcc l2.misses
+	changed, compared, err = diffMetrics(path, cur, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 1 || compared != 6 {
+		t.Errorf("diff = %d changed of %d compared, want 1 of 6", changed, compared)
 	}
 }

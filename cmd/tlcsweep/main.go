@@ -7,8 +7,10 @@
 //	tlcsweep -geometry      # width x length signal-integrity acceptance
 //	tlcsweep -bench mcf     # benchmark for the simulation sweeps
 //	tlcsweep -par 8         # simulation parallelism
+//	tlcsweep -quick         # shorter runs (tlctables -quick lengths)
 //	tlcsweep -ckptdir DIR   # persist warm-state checkpoints across runs
 //	tlcsweep -metrics FILE  # full registry dump for every simulated run
+//	tlcsweep -remote ADDR   # run the sweeps against a tlcd server
 //
 // All simulation sweeps share one warm-state checkpoint store: the memory
 // sweep's flat and banked-DRAM runs warm identically (warm-up is functional),
@@ -17,17 +19,24 @@
 //
 // Simulation runs are deterministic and independent, so output is
 // byte-identical for every -par value: workers fill result slots keyed by
-// grid position and rendering stays serial.
+// grid position and rendering stays serial. The same holds across -remote:
+// a tlcd server executes the identical deterministic simulations, the
+// client reconstructs the identical tlc.Result values, and the sweeps
+// render through the same code — local and remote output match byte for
+// byte (the CI service-e2e job asserts exactly this).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"runtime"
 	"sync"
 
 	"tlc"
+	"tlc/internal/client"
 	"tlc/internal/cliopt"
 	"tlc/internal/experiments"
 	"tlc/internal/report"
@@ -41,20 +50,38 @@ var par = flag.Int("par", runtime.NumCPU(), "simulation parallelism")
 // store, so warm state is shared wherever the keys allow.
 var sweepOptions func() tlc.Options
 
+// runResult executes one (design, benchmark, options) run — in process by
+// default, against a tlcd server under -remote. Sweeps call it
+// concurrently (bounded by -par) and render serially from the collected
+// results, so the two paths produce byte-identical output.
+var runResult func(d tlc.Design, bench string, opt tlc.Options) (tlc.Result, error)
+
 func main() {
 	bench := flag.String("bench", "mcf", "benchmark for simulation sweeps")
 	memoryF := flag.Bool("memory", false, "flat vs banked-DRAM memory sweep")
 	seedsF := flag.Bool("seeds", false, "seed robustness sweep")
 	geometryF := flag.Bool("geometry", false, "transmission-line geometry acceptance")
+	quick := flag.Bool("quick", false, "shorter runs: 2M warm / 200K timed instructions")
+	remote := flag.String("remote", "", "run simulations on a tlcd server at this base URL")
 	accel := cliopt.Register()
 	flag.Parse()
 
 	store := tlc.NewCheckpointStore(0, accel.CkptDir)
 	sweepOptions = func() tlc.Options {
 		opt := tlc.DefaultOptions()
+		if *quick {
+			opt.WarmInstructions = 2_000_000
+			opt.RunInstructions = 200_000
+		}
 		accel.Apply(&opt)
 		opt.Checkpoints = store
 		return opt
+	}
+
+	if *remote != "" {
+		runResult = remoteRunner(*remote)
+	} else {
+		runResult = localRunner()
 	}
 
 	any := false
@@ -75,45 +102,96 @@ func main() {
 		seedSweep(*bench)
 		geometrySweep()
 	}
-	// Every sweep's Options came from sweepOptions (Apply), so one dump
-	// collects across all suites of the invocation.
+	// Every local sweep's Options came from sweepOptions (Apply), so one
+	// dump collects across all suites of the invocation. (Remote runs
+	// execute on the server; -metrics collects nothing there.)
 	if err := accel.WriteMetrics(); err != nil {
 		log.Fatal(err)
 	}
 }
 
+// localRunner executes runs in process through per-options suites: one
+// suite per distinct option set (a suite keys its run cache by design and
+// benchmark only), all sharing the invocation's checkpoint store via
+// sweepOptions.
+func localRunner() func(tlc.Design, string, tlc.Options) (tlc.Result, error) {
+	var mu sync.Mutex
+	suites := make(map[string]*experiments.Suite)
+	return func(d tlc.Design, bench string, opt tlc.Options) (tlc.Result, error) {
+		key := opt.ContentKey()
+		mu.Lock()
+		s, ok := suites[key]
+		if !ok {
+			s = experiments.NewSuite(opt)
+			suites[key] = s
+		}
+		mu.Unlock()
+		return s.RunErr(d, bench)
+	}
+}
+
+// remoteRunner executes runs on a tlcd server. Identical configurations
+// coalesce and cache server-side; the returned records embed the complete
+// tlc.Result, so the sweeps render exactly what a local run produces.
+func remoteRunner(base string) func(tlc.Design, string, tlc.Options) (tlc.Result, error) {
+	c := client.New(base, &http.Client{})
+	if err := c.Health(context.Background()); err != nil {
+		log.Fatalf("tlcsweep: -remote %s: %v", base, err)
+	}
+	return func(d tlc.Design, bench string, opt tlc.Options) (tlc.Result, error) {
+		return c.Result(context.Background(), d, bench, opt)
+	}
+}
+
+// grid runs fn over n points with -par-bounded concurrency; results land
+// by index so rendering order is independent of completion order.
+func grid(n int, fn func(i int)) {
+	sem := make(chan struct{}, max(1, *par))
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
 func memorySweep(bench string) {
 	designs := []tlc.Design{tlc.DesignSNUCA2, tlc.DesignDNUCA, tlc.DesignTLC}
-	// One suite per memory model: a suite keys its run cache by (design,
-	// benchmark), so distinct Options need distinct suites. RunAll fills
-	// both grids in parallel; the table then renders from cache hits.
 	flatOpt := sweepOptions()
 	drOpt := flatOpt
 	drOpt.UseDRAM = true
-	flat := experiments.NewSuite(flatOpt)
-	banked := experiments.NewSuite(drOpt)
 
-	var wg sync.WaitGroup
-	errs := make([]error, 2)
-	for i, s := range []*experiments.Suite{flat, banked} {
-		wg.Add(1)
-		go func(i int, s *experiments.Suite) {
-			defer wg.Done()
-			errs[i] = s.RunAll(designs, []string{bench}, (*par+1)/2)
-		}(i, s)
+	// Both memory models' grids fill concurrently; the table renders
+	// serially from the result slots.
+	type cell struct {
+		res tlc.Result
+		err error
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			log.Fatal(err)
+	cells := make([]cell, 2*len(designs))
+	grid(len(cells), func(i int) {
+		opt := flatOpt
+		if i >= len(designs) {
+			opt = drOpt
+		}
+		res, err := runResult(designs[i%len(designs)], bench, opt)
+		cells[i] = cell{res, err}
+	})
+	for _, c := range cells {
+		if c.err != nil {
+			log.Fatal(c.err)
 		}
 	}
 
 	t := report.NewTable(fmt.Sprintf("Memory-model sensitivity (%s)", bench),
 		"Design", "Flat 300 (cycles)", "Banked DRAM (cycles)", "Ratio")
-	for _, d := range designs {
-		fr := flat.Run(d, bench)
-		br := banked.Run(d, bench)
+	for i, d := range designs {
+		fr := cells[i].res
+		br := cells[i+len(designs)].res
 		t.AddRow(d.String(), float64(fr.Cycles), float64(br.Cycles),
 			float64(br.Cycles)/float64(fr.Cycles))
 	}
@@ -127,33 +205,41 @@ func seedSweep(bench string) {
 	seeds := []int64{1, 2, 3, 5, 8}
 	designs := []tlc.Design{tlc.DesignSNUCA2, tlc.DesignDNUCA, tlc.DesignTLC}
 
-	type row struct {
-		cyc, lookup tlc.SeedStats
-		err         error
+	// Mirror tlc.RunSeeds: the warm stream is pinned to the first seed so
+	// every seed measures from identical warm state (one warm-up per
+	// design, via the shared checkpoint store — or the server's, under
+	// -remote); the timed stream reseeds per run. Per-seed results are
+	// summarized with tlc.SummarizeSeeds in seed order, so the statistics
+	// match RunSeeds bit for bit.
+	type cell struct {
+		res tlc.Result
+		err error
 	}
-	rows := make([]row, len(designs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, max(1, *par))
-	for i, d := range designs {
-		wg.Add(1)
-		go func(i int, d tlc.Design) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cyc, lookup, _, err := tlc.RunSeeds(d, bench, sweepOptions(), seeds)
-			rows[i] = row{cyc: cyc, lookup: lookup, err: err}
-		}(i, d)
-	}
-	wg.Wait()
+	cells := make([]cell, len(designs)*len(seeds))
+	grid(len(cells), func(i int) {
+		opt := sweepOptions()
+		opt.WarmSeed = seeds[0]
+		opt.Seed = seeds[i%len(seeds)]
+		res, err := runResult(designs[i/len(seeds)], bench, opt)
+		cells[i] = cell{res, err}
+	})
 
 	t := report.NewTable(fmt.Sprintf("Seed robustness over %v (%s)", seeds, bench),
 		"Design", "Cycles mean", "Cycles spread", "Lookup mean", "Lookup spread")
 	for i, d := range designs {
-		if rows[i].err != nil {
-			log.Fatal(rows[i].err)
+		cs := make([]float64, len(seeds))
+		ls := make([]float64, len(seeds))
+		for j := range seeds {
+			c := cells[i*len(seeds)+j]
+			if c.err != nil {
+				log.Fatal(c.err)
+			}
+			cs[j] = float64(c.res.Cycles)
+			ls[j] = c.res.MeanLookup
 		}
-		t.AddRow(d.String(), rows[i].cyc.Mean, fmt.Sprintf("%.2f%%", rows[i].cyc.Spread()*100),
-			rows[i].lookup.Mean, fmt.Sprintf("%.2f%%", rows[i].lookup.Spread()*100))
+		cyc, lookup := tlc.SummarizeSeeds(cs), tlc.SummarizeSeeds(ls)
+		t.AddRow(d.String(), cyc.Mean, fmt.Sprintf("%.2f%%", cyc.Spread()*100),
+			lookup.Mean, fmt.Sprintf("%.2f%%", lookup.Spread()*100))
 	}
 	fmt.Println(t)
 }

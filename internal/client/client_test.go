@@ -1,0 +1,127 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tlc/internal/api"
+)
+
+// fastClient returns a client with sub-millisecond backoff for tests.
+func fastClient(url string) *Client {
+	c := New(url, nil)
+	c.Backoff = time.Millisecond
+	c.MaxBackoff = 5 * time.Millisecond
+	return c
+}
+
+// TestRetryOn429 drives the backpressure contract: 429 responses (with
+// Retry-After honored) are retried until the server admits the run.
+func TestRetryOn429(t *testing.T) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0") // ignored (non-positive): falls back to backoff
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(api.Error{Error: "run queue is full"})
+			return
+		}
+		json.NewEncoder(w).Encode(api.RunRecord{Design: "TLC", Benchmark: "gcc", Cycles: 7})
+	}))
+	defer hs.Close()
+
+	rec, err := fastClient(hs.URL).Run(context.Background(), api.RunRequest{Design: "TLC", Benchmark: "gcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Cycles != 7 {
+		t.Fatalf("rec = %+v", rec)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("%d requests, want 3 (two 429s then success)", got)
+	}
+}
+
+// TestNoRetryOn400And500: deterministic failures surface immediately.
+func TestNoRetryOn400And500(t *testing.T) {
+	for _, status := range []int{http.StatusBadRequest, http.StatusInternalServerError} {
+		var calls atomic.Int64
+		hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(api.Error{Error: "nope"})
+		}))
+		_, err := fastClient(hs.URL).Run(context.Background(), api.RunRequest{Design: "TLC", Benchmark: "gcc"})
+		hs.Close()
+		var serr *StatusError
+		if !errors.As(err, &serr) || serr.Status != status {
+			t.Fatalf("status %d: err = %v, want StatusError with that status", status, err)
+		}
+		if got := calls.Load(); got != 1 {
+			t.Fatalf("status %d retried (%d requests), deterministic failures must not retry", status, got)
+		}
+	}
+}
+
+// TestRetriesExhausted: persistent 503s end in an error wrapping the last
+// StatusError after Retries+1 attempts.
+func TestRetriesExhausted(t *testing.T) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer hs.Close()
+
+	c := fastClient(hs.URL)
+	c.Retries = 2
+	_, err := c.Run(context.Background(), api.RunRequest{Design: "TLC", Benchmark: "gcc"})
+	var serr *StatusError
+	if !errors.As(err, &serr) || serr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want wrapped 503 StatusError", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("%d requests, want 3 (initial + 2 retries)", got)
+	}
+}
+
+// TestContextCancelsRetryLoop: a cancelled context stops the backoff sleep.
+func TestContextCancelsRetryLoop(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer hs.Close()
+
+	c := New(hs.URL, nil) // default MaxBackoff: the 30s Retry-After is honored
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Run(ctx, api.RunRequest{Design: "TLC", Benchmark: "gcc"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("retry loop ignored the context and slept through Retry-After")
+	}
+}
+
+// TestGetRunNotFound maps 404 to ok=false.
+func TestGetRunNotFound(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(api.Error{Error: "no such run"})
+	}))
+	defer hs.Close()
+
+	_, ok, err := fastClient(hs.URL).GetRun(context.Background(), "abc")
+	if err != nil || ok {
+		t.Fatalf("GetRun on 404 = ok=%v err=%v, want false, nil", ok, err)
+	}
+}

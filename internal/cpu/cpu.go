@@ -172,6 +172,15 @@ type Core struct {
 	// stream costs no per-call allocation.
 	shim batchShim
 
+	// cancel, when set, is polled at batch boundaries during Warm and run;
+	// a non-nil return aborts the loop and is retained in cancelErr. Polling
+	// happens once per instruction batch (a few thousand instructions), so
+	// cooperative cancellation costs a nil-check per batch, not per
+	// instruction, and never perturbs the simulated state of a run that was
+	// not cancelled.
+	cancel    func() error
+	cancelErr error
+
 	// cum accumulates pipeline-event counters over the whole timing epoch
 	// (res resets on every run/Resume call; these reset with the epoch in
 	// resetTiming), feeding the metrics registry.
@@ -198,6 +207,30 @@ func New(sys config.System, l2c l2.Cache) *Core {
 		// capacity keeps the tracking allocation-free.
 		outstanding: make([]sim.Time, 0, sys.MaxOutstanding),
 	}
+}
+
+// SetCancel installs a cooperative cancellation check, polled at batch
+// boundaries by Warm and the timed run loops. When fn returns a non-nil
+// error the current loop stops early and CancelErr reports it; the machine
+// state is then mid-run and must be discarded (in particular, never
+// checkpointed). A nil fn disables checking.
+func (c *Core) SetCancel(fn func() error) { c.cancel = fn }
+
+// CancelErr reports the error that aborted the most recent Warm or run
+// call, if any. It clears on the next RunFrom (resetTiming), matching the
+// rest of the per-epoch state.
+func (c *Core) CancelErr() error { return c.cancelErr }
+
+// cancelled polls the cancellation hook and records the first error.
+func (c *Core) cancelled() bool {
+	if c.cancel == nil || c.cancelErr != nil {
+		return c.cancelErr != nil
+	}
+	if err := c.cancel(); err != nil {
+		c.cancelErr = err
+		return true
+	}
+	return false
 }
 
 // RegisterMetrics publishes the core's pipeline and L1 counters under
@@ -251,6 +284,9 @@ func (c *Core) Warm(s Stream, n uint64) {
 // BenchmarkWarmThroughput.
 func (c *Core) warmScalar(s Stream, n uint64) {
 	for i := uint64(0); i < n; i++ {
+		if i%streamBatch == 0 && c.cancelled() {
+			return
+		}
 		in := s.Next()
 		if !in.IsMem {
 			continue
@@ -293,6 +329,9 @@ func (c *Core) warmFast(s MemStream, n uint64) {
 	}
 	warmer, bulk := c.l2.(l2.Warmer)
 	for remaining := n; remaining > 0; {
+		if c.cancelled() {
+			return
+		}
 		m, consumed := s.NextMems(c.memBuf, remaining)
 		if consumed == 0 {
 			panic("cpu: warm stream made no progress")
@@ -362,6 +401,9 @@ func (c *Core) run(s Stream, n uint64) Result {
 		c.batch = make([]Instr, streamBatch)
 	}
 	for j := uint64(0); j < n; {
+		if c.cancelled() {
+			break
+		}
 		want := n - j
 		if want > streamBatch {
 			want = streamBatch
@@ -436,6 +478,7 @@ func (c *Core) resetTiming() {
 	c.lastLoad = 0
 	c.prevComplete = 0
 	c.fetchPenalty = 0
+	c.cancelErr = nil
 	c.epochBase = 0
 	c.epochInstrs = 0
 	c.lastRetire = 0

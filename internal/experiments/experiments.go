@@ -7,6 +7,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -176,6 +178,19 @@ func (s *Suite) SampledErr(d tlc.Design, bench string) (tlc.SampledResult, error
 	return f.sres, nil
 }
 
+// SampledCtx is SampledErr bounded by a context, with RunCtx's
+// cancellation and eviction semantics. The suite must be in sampled mode.
+func (s *Suite) SampledCtx(ctx context.Context, d tlc.Design, bench string) (tlc.SampledResult, error) {
+	if !s.Sampled() {
+		return tlc.SampledResult{}, fmt.Errorf("experiments: suite is not in sampled mode")
+	}
+	f, err := s.runCtx(ctx, d, bench)
+	if err != nil {
+		return tlc.SampledResult{}, err
+	}
+	return f.sres, nil
+}
+
 // sampled is SampledErr with the Run panic contract, for figure builders.
 func (s *Suite) sampled(d tlc.Design, bench string) tlc.SampledResult {
 	r, err := s.SampledErr(d, bench)
@@ -194,38 +209,98 @@ func (s *Suite) RunErr(d tlc.Design, bench string) (tlc.Result, error) {
 	return f.res, nil
 }
 
+// RunCtx is RunErr bounded by a context: the executing simulation polls ctx
+// at batch boundaries (through tlc.Options.Cancel), and a request that
+// joins an in-flight simulation of the same key stops waiting when its own
+// ctx ends. A flight aborted by cancellation is evicted from the cache —
+// cancellation is a property of the requests that happened to be waiting,
+// not of the (design, benchmark) key — so a later request re-simulates
+// instead of inheriting the cancelled flight's error.
+func (s *Suite) RunCtx(ctx context.Context, d tlc.Design, bench string) (tlc.Result, error) {
+	f, err := s.runCtx(ctx, d, bench)
+	if err != nil {
+		return tlc.Result{}, err
+	}
+	return f.res, nil
+}
+
 // run is the singleflight core shared by RunErr and SampledErr.
 func (s *Suite) run(d tlc.Design, bench string) (*flight, error) {
+	return s.runCtx(context.Background(), d, bench)
+}
+
+// runCtx installs or joins the key's flight. Joiners whose flight ends in
+// another request's cancellation retry with their own (still live) context.
+func (s *Suite) runCtx(ctx context.Context, d tlc.Design, bench string) (*flight, error) {
 	key := runKey{d, bench}
-	s.mu.Lock()
-	if f, ok := s.cache[key]; ok {
-		s.m.CacheHits++
+	for {
+		s.mu.Lock()
+		if f, ok := s.cache[key]; ok {
+			s.m.CacheHits++
+			s.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if isCancellation(f.err) && ctx.Err() == nil {
+				// The executing requester was cancelled after we joined; the
+				// flight has been evicted. Re-run under our own context.
+				continue
+			}
+			return f, f.err
+		}
+		f := &flight{done: make(chan struct{})}
+		s.cache[key] = f
 		s.mu.Unlock()
-		<-f.done
+		s.execute(ctx, key, f)
 		return f, f.err
 	}
-	f := &flight{done: make(chan struct{})}
-	s.cache[key] = f
-	s.mu.Unlock()
+}
 
+// execute runs one simulation in the caller's goroutine, fills the flight,
+// and wakes its waiters. Cancelled flights are evicted before the wake-up,
+// so retrying waiters never rejoin a dead flight.
+func (s *Suite) execute(ctx context.Context, key runKey, f *flight) {
+	opt := s.Opt
+	if ctx.Done() != nil {
+		user := opt.Cancel
+		opt.Cancel = func() error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if user != nil {
+				return user()
+			}
+			return nil
+		}
+	}
 	start := time.Now()
 	if s.Sampled() {
-		f.sres, f.err = tlc.RunSampled(d, bench, s.Opt)
+		f.sres, f.err = tlc.RunSampled(key.d, key.bench, opt)
 		f.res = f.sres.Result
 	} else {
-		f.res, f.err = tlc.Run(d, bench, s.Opt)
+		f.res, f.err = tlc.Run(key.d, key.bench, opt)
 	}
 	wall := time.Since(start)
-	close(f.done)
 
 	s.mu.Lock()
+	if isCancellation(f.err) && s.cache[key] == f {
+		delete(s.cache, key)
+	}
 	s.m.Simulated++
 	s.m.SimWall += wall
 	s.mu.Unlock()
+	close(f.done)
 	if s.OnRun != nil {
-		s.OnRun(RunEvent{Design: d, Benchmark: bench, Wall: wall, Result: f.res, Err: f.err})
+		s.OnRun(RunEvent{Design: key.d, Benchmark: key.bench, Wall: wall, Result: f.res, Err: f.err})
 	}
-	return f, f.err
+}
+
+// isCancellation reports whether err stems from context cancellation or an
+// expired deadline (tlc wraps the context error, so errors.Is sees it).
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Metrics reports a snapshot of the suite's cache and timing counters.

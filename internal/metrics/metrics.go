@@ -226,11 +226,20 @@ func (r *Registry) Snapshot(now sim.Time) Snapshot {
 	return out
 }
 
-// Value looks up a metric by name in the snapshot.
+// Value looks up a metric by name in the snapshot. Registry-produced
+// snapshots are sorted and answer via binary search; a snapshot that
+// arrived unsorted (deserialized from an artifact whose array was
+// reassembled out of order) still answers correctly through the linear
+// fallback.
 func (s Snapshot) Value(name string) (float64, bool) {
 	i := sort.Search(len(s), func(i int) bool { return s[i].Name >= name })
 	if i < len(s) && s[i].Name == name {
 		return s[i].Value, true
+	}
+	for _, m := range s {
+		if m.Name == name {
+			return m.Value, true
+		}
 	}
 	return 0, false
 }

@@ -1,0 +1,50 @@
+package server
+
+import (
+	"container/list"
+
+	"tlc/internal/api"
+)
+
+// lru is the content-addressed result cache: RunKey → RunRecord, bounded by
+// entry count. Not safe for concurrent use; the Server guards it with its
+// own mutex.
+type lru struct {
+	cap   int
+	order *list.List // front = most recently used; values are *lruEntry
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	rec api.RunRecord
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *lru) get(key string) (api.RunRecord, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return api.RunRecord{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).rec, true
+}
+
+func (c *lru) add(key string, rec api.RunRecord) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).rec = rec
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, rec: rec})
+	for len(c.items) > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lru) len() int { return len(c.items) }

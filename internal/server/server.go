@@ -1,0 +1,483 @@
+// Package server implements the tlcd experiment service: the paper's
+// evaluation behind an HTTP API. One long-running process amortizes what
+// every one-shot CLI invocation re-pays — warm state, identical grid
+// points, in-flight duplicates — through three layers that a request
+// traverses in order:
+//
+//  1. a content-addressed LRU result cache keyed by tlc.RunKey (hits are
+//     served without touching a worker),
+//  2. request coalescing: an identical in-flight configuration is joined,
+//     not re-enqueued, and the underlying execution is additionally
+//     deduplicated by experiments.Suite's per-key singleflight,
+//  3. a bounded worker pool fed by a bounded queue with explicit
+//     backpressure — a full queue rejects with 429 and a Retry-After
+//     estimate instead of queueing without bound.
+//
+// Per-request deadlines are cooperative: the executing simulation polls the
+// request context at batch boundaries (tlc.Options.Cancel), so an expired
+// deadline abandons the run mid-flight instead of simulating to completion
+// for a client that stopped waiting. All runs share one warm-state
+// checkpoint store: concurrent requests for the same benchmark reuse one
+// warm prefix.
+package server
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tlc"
+	"tlc/internal/api"
+	"tlc/internal/experiments"
+	"tlc/internal/metrics"
+	"tlc/internal/sim"
+)
+
+// Config parameterizes a Server. The zero value is usable: every field has
+// a documented default.
+type Config struct {
+	// Workers bounds concurrent simulations (default 4).
+	Workers int
+	// QueueDepth bounds runs admitted but not yet executing; a full queue
+	// rejects with 429 (default 4×Workers).
+	QueueDepth int
+	// CacheSize bounds the result cache in entries (default 4096).
+	CacheSize int
+	// DefaultTimeout applies to requests that set none; MaxTimeout caps
+	// client-requested timeouts (defaults 5m / 30m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Checkpoints is the shared warm-state store (an in-memory store is
+	// built when nil). CheckpointDir adds a disk tier to the built store.
+	Checkpoints   *tlc.CheckpointStore
+	CheckpointDir string
+	// BaseOptions are the options figure endpoints run with, and the
+	// defaults RunOptions expand against conceptually (clients always send
+	// explicit options; BaseOptions only drive /v1/figures). Zero means
+	// tlc.DefaultOptions.
+	BaseOptions tlc.Options
+
+	// execute overrides run execution, for tests. The default executes
+	// through a per-options experiments.Suite.
+	execute func(ctx context.Context, d tlc.Design, bench string, opt tlc.Options) (api.RunRecord, error)
+}
+
+// Server is the service state. Create with New, serve via Handler, stop
+// with Drain.
+type Server struct {
+	cfg   Config
+	reg   *metrics.Registry
+	start time.Time
+
+	mu       sync.Mutex
+	suites   map[string]*experiments.Suite // by Options.ContentKey
+	suiteUse *list.List                    // LRU order of suite keys
+	flights  map[string]*runFlight         // in-flight runs by RunKey
+	cache    *lru                          // RunKey -> api.RunRecord
+	draining bool
+
+	queue   chan *runFlight
+	workers sync.WaitGroup
+
+	// Counters behind /metricz; atomics so the HTTP paths never contend
+	// with the worker pool on mu for bookkeeping.
+	nRequested atomic.Uint64
+	nExecuted  atomic.Uint64
+	nCacheHits atomic.Uint64
+	nCoalesced atomic.Uint64
+	nRejected  atomic.Uint64
+	nDeadline  atomic.Uint64
+	nFailed    atomic.Uint64
+	nHTTP      atomic.Uint64
+	// wallEWMA is an exponentially weighted mean of executed-run wall time
+	// in milliseconds (float64 bits), feeding the Retry-After estimate.
+	wallEWMA atomic.Uint64
+}
+
+// runFlight is one admitted run: installed in the flights map at admission,
+// executed by a worker, awaited by its requesters. Its context is the union
+// of its waiters' interest — it cancels when the last waiter gives up, so
+// an abandoned run stops simulating at the next batch boundary.
+type runFlight struct {
+	key    string
+	design tlc.Design
+	bench  string
+	opt    tlc.Options
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	refs   int // guarded by Server.mu
+
+	done chan struct{}
+	rec  api.RunRecord
+	err  error
+}
+
+// maxSuites bounds the per-options suite cache. Each suite's internal
+// result cache is bounded by the design×benchmark grid, so the worst-case
+// footprint is maxSuites full grids of Results plus metric snapshots.
+const maxSuites = 32
+
+// New builds a server. Call Drain before discarding it.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 4096
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 5 * time.Minute
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 30 * time.Minute
+	}
+	if cfg.Checkpoints == nil {
+		cfg.Checkpoints = tlc.NewCheckpointStore(0, cfg.CheckpointDir)
+	}
+	if cfg.BaseOptions.RunInstructions == 0 {
+		base := tlc.DefaultOptions()
+		base.Seed = cfg.BaseOptions.Seed
+		if base.Seed == 0 {
+			base.Seed = 1
+		}
+		cfg.BaseOptions = base
+	}
+
+	s := &Server{
+		cfg:      cfg,
+		reg:      metrics.New(),
+		start:    time.Now(),
+		suites:   make(map[string]*experiments.Suite),
+		suiteUse: list.New(),
+		flights:  make(map[string]*runFlight),
+		cache:    newLRU(cfg.CacheSize),
+		queue:    make(chan *runFlight, cfg.QueueDepth),
+	}
+	if s.cfg.execute == nil {
+		s.cfg.execute = s.executeSuite
+	}
+	s.registerMetrics()
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// registerMetrics publishes the server's own counters on its registry —
+// the same instrumentation spine the simulation layers use, read by
+// /metricz.
+func (s *Server) registerMetrics() {
+	s.reg.CounterFunc("server.runs.requested", s.nRequested.Load)
+	s.reg.CounterFunc("server.runs.executed", s.nExecuted.Load)
+	s.reg.CounterFunc("server.runs.cache_hits", s.nCacheHits.Load)
+	s.reg.CounterFunc("server.runs.coalesced", s.nCoalesced.Load)
+	s.reg.CounterFunc("server.runs.rejected", s.nRejected.Load)
+	s.reg.CounterFunc("server.runs.deadline_exceeded", s.nDeadline.Load)
+	s.reg.CounterFunc("server.runs.failed", s.nFailed.Load)
+	s.reg.CounterFunc("server.http.requests", s.nHTTP.Load)
+	s.reg.Gauge("server.queue.depth", func(sim.Time) float64 { return float64(len(s.queue)) })
+	s.reg.Gauge("server.queue.capacity", func(sim.Time) float64 { return float64(cap(s.queue)) })
+	s.reg.Gauge("server.uptime_seconds", func(sim.Time) float64 { return time.Since(s.start).Seconds() })
+	s.reg.Gauge("server.run_wall_ewma_ms", func(sim.Time) float64 { return s.meanWallMS() })
+	ck := s.cfg.Checkpoints
+	s.reg.CounterFunc("server.checkpoints.hits", func() uint64 { return ck.Stats().Hits })
+	s.reg.CounterFunc("server.checkpoints.misses", func() uint64 { return ck.Stats().Misses })
+}
+
+// Metrics exposes the server's registry (tests and /metricz).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// httpError carries an HTTP status through the submit path.
+type httpError struct {
+	status     int
+	msg        string
+	retryAfter int // seconds; nonzero only for 429
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// submit is the core of POST /v1/runs: resolve the content address, then
+// cache → coalesce → enqueue, and wait bounded by ctx. wait=true turns a
+// full queue into a ctx-bounded blocking enqueue instead of a 429 — the
+// figure endpoints use it for their internal grid fills so one figure
+// request cannot trip its own backpressure.
+func (s *Server) submit(ctx context.Context, req api.RunRequest, wait bool) (api.RunRecord, *httpError) {
+	d, err := req.Validate()
+	if err != nil {
+		return api.RunRecord{}, &httpError{status: 400, msg: err.Error()}
+	}
+	return s.submitKeyed(ctx, d, req.Benchmark, req.Options.Options(), wait)
+}
+
+// submitKeyed is submit after validation; the figure endpoints call it
+// directly for their grid fills.
+func (s *Server) submitKeyed(ctx context.Context, d tlc.Design, bench string, opt tlc.Options, wait bool) (api.RunRecord, *httpError) {
+	s.nRequested.Add(1)
+	key := tlc.RunKey(d, bench, opt)
+
+	s.mu.Lock()
+	if rec, ok := s.cache.get(key); ok {
+		s.mu.Unlock()
+		s.nCacheHits.Add(1)
+		rec.Cached = true
+		return rec, nil
+	}
+	if s.draining {
+		s.mu.Unlock()
+		return api.RunRecord{}, &httpError{status: 503, msg: "server is draining"}
+	}
+	f, joined := s.flights[key]
+	if joined {
+		f.refs++
+		s.nCoalesced.Add(1)
+	} else {
+		f = &runFlight{key: key, design: d, bench: bench, opt: opt, done: make(chan struct{}), refs: 1}
+		f.ctx, f.cancel = context.WithCancel(context.Background())
+		s.flights[key] = f
+		if !wait {
+			select {
+			case s.queue <- f:
+			default:
+				delete(s.flights, key)
+				f.cancel()
+				s.mu.Unlock()
+				s.nRejected.Add(1)
+				return api.RunRecord{}, &httpError{
+					status:     429,
+					msg:        "run queue is full",
+					retryAfter: s.retryAfterSeconds(),
+				}
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	if wait && !joined {
+		// Blocking enqueue, abandoned if the requester's ctx dies first.
+		select {
+		case s.queue <- f:
+		case <-ctx.Done():
+			s.deref(f)
+			s.abandonQueued(f)
+			s.nDeadline.Add(1)
+			return api.RunRecord{}, &httpError{status: 504, msg: ctx.Err().Error()}
+		}
+	}
+
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		s.deref(f)
+		s.nDeadline.Add(1)
+		return api.RunRecord{}, &httpError{status: 504, msg: ctx.Err().Error()}
+	}
+	s.deref(f)
+	if f.err != nil {
+		s.nFailed.Add(1)
+		return api.RunRecord{}, &httpError{status: 500, msg: f.err.Error()}
+	}
+	rec := f.rec
+	rec.Coalesced = joined
+	return rec, nil
+}
+
+// deref drops one waiter's interest in a flight; the last one out cancels
+// the flight's context so an execution nobody is waiting for stops at its
+// next batch boundary.
+func (s *Server) deref(f *runFlight) {
+	s.mu.Lock()
+	f.refs--
+	last := f.refs == 0
+	s.mu.Unlock()
+	if last {
+		f.cancel()
+	}
+}
+
+// abandonQueued removes a flight that was never (or not yet) picked up by a
+// worker. If a worker grabbed it concurrently, the cancelled context makes
+// the execution a fast no-op and the worker cleans up as usual.
+func (s *Server) abandonQueued(f *runFlight) {
+	s.mu.Lock()
+	if s.flights[f.key] == f {
+		delete(s.flights, f.key)
+	}
+	s.mu.Unlock()
+}
+
+// worker drains the queue until Drain closes it.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for f := range s.queue {
+		s.runOne(f)
+	}
+}
+
+// runOne executes one flight and publishes its outcome.
+func (s *Server) runOne(f *runFlight) {
+	start := time.Now()
+	rec, err := s.cfg.execute(f.ctx, f.design, f.bench, f.opt)
+	wall := time.Since(start)
+
+	f.rec, f.err = rec, err
+	if err == nil {
+		f.rec.ID = f.key
+		f.rec.WallMS = float64(wall.Microseconds()) / 1000
+		s.nExecuted.Add(1)
+		s.observeWall(f.rec.WallMS)
+	}
+	s.mu.Lock()
+	if err == nil {
+		s.cache.add(f.key, f.rec)
+	}
+	if s.flights[f.key] == f {
+		delete(s.flights, f.key)
+	}
+	s.mu.Unlock()
+	close(f.done)
+}
+
+// executeSuite is the production execute hook: run through the per-options
+// suite so identical configurations share the singleflight and the metrics
+// aggregation, with the shared checkpoint store wired in.
+func (s *Server) executeSuite(ctx context.Context, d tlc.Design, bench string, opt tlc.Options) (api.RunRecord, error) {
+	suite := s.suiteFor(opt)
+	var res tlc.Result
+	var sres *tlc.SampledResult
+	var err error
+	if suite.Sampled() {
+		var sr tlc.SampledResult
+		sr, err = suite.SampledCtx(ctx, d, bench)
+		res, sres = sr.Result, &sr
+	} else {
+		res, err = suite.RunCtx(ctx, d, bench)
+	}
+	if err != nil {
+		return api.RunRecord{}, err
+	}
+	snap, _ := suite.RunMetrics(d, bench)
+	rec := api.RecordFrom(res, sres, snap, 0)
+	// Embed the complete Result so remote callers reconstruct exactly what
+	// this in-process run returned (the byte-identity contract).
+	rec.Result = &res
+	return rec, nil
+}
+
+// suiteFor returns the suite for opt's content key, building it (with the
+// shared checkpoint store) on first use. Suites are kept LRU-bounded: each
+// one retains at most a full grid of results, and maxSuites bounds how many
+// option variants retain theirs.
+func (s *Server) suiteFor(opt tlc.Options) *experiments.Suite {
+	ck := opt.ContentKey()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if suite, ok := s.suites[ck]; ok {
+		for el := s.suiteUse.Front(); el != nil; el = el.Next() {
+			if el.Value.(string) == ck {
+				s.suiteUse.MoveToFront(el)
+				break
+			}
+		}
+		return suite
+	}
+	opt.Checkpoints = s.cfg.Checkpoints
+	suite := experiments.NewSuite(opt)
+	s.suites[ck] = suite
+	s.suiteUse.PushFront(ck)
+	for len(s.suites) > maxSuites {
+		oldest := s.suiteUse.Back()
+		s.suiteUse.Remove(oldest)
+		delete(s.suites, oldest.Value.(string))
+	}
+	return suite
+}
+
+// observeWall folds one executed run's wall time into the EWMA.
+func (s *Server) observeWall(ms float64) {
+	for {
+		old := s.wallEWMA.Load()
+		prev := math.Float64frombits(old)
+		next := ms
+		if prev > 0 {
+			next = 0.8*prev + 0.2*ms
+		}
+		if s.wallEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// meanWallMS reads the wall-time EWMA.
+func (s *Server) meanWallMS() float64 {
+	return math.Float64frombits(s.wallEWMA.Load())
+}
+
+// retryAfterSeconds estimates when queue space will open: the backlog's
+// expected drain time across the pool, floored at one second. With no
+// executed runs yet it answers 1.
+func (s *Server) retryAfterSeconds() int {
+	mean := s.meanWallMS()
+	if mean <= 0 {
+		return 1
+	}
+	backlog := float64(len(s.queue)+s.cfg.Workers) * mean / float64(s.cfg.Workers)
+	secs := int(math.Ceil(backlog / 1000))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// Draining reports whether Drain has begun (healthz flips to 503).
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops intake and waits for queued work to finish, bounded by ctx:
+// new runs are rejected with 503, queued and executing runs complete (their
+// waiters get answers), then the worker pool exits. On ctx expiry the
+// remaining flights are cancelled cooperatively and Drain returns ctx's
+// error once the workers notice.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return fmt.Errorf("server: already draining")
+	}
+	s.draining = true
+	// Intake is gated on draining under mu, so no further sends can race
+	// this close.
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Cut the remaining work loose: cancelling flight contexts aborts
+		// executing runs at their next batch boundary.
+		s.mu.Lock()
+		for _, f := range s.flights {
+			f.cancel()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}

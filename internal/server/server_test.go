@@ -1,0 +1,486 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tlc"
+	"tlc/internal/api"
+)
+
+// tinyOptions keeps real simulations fast where a test needs one.
+func tinyOptions() tlc.Options {
+	opt := tlc.DefaultOptions()
+	opt.WarmInstructions = 10_000
+	opt.RunInstructions = 5_000
+	return opt
+}
+
+// newTestServer builds a server (stubbed when execute != nil) and its
+// httptest front end, torn down with the test.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		if !s.Draining() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := s.Drain(ctx); err != nil {
+				t.Errorf("drain: %v", err)
+			}
+		}
+	})
+	return s, hs
+}
+
+func postRun(t *testing.T, url string, req api.RunRequest, query string) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/runs"+query, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func decodeRecord(t *testing.T, data []byte) api.RunRecord {
+	t.Helper()
+	var rec api.RunRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("decoding record: %v\n%s", err, data)
+	}
+	return rec
+}
+
+// counter reads one named counter from the server's registry.
+func counter(t *testing.T, s *Server, name string) uint64 {
+	t.Helper()
+	for _, m := range s.Metrics().Snapshot(0) {
+		if m.Name == name {
+			return m.Count
+		}
+	}
+	t.Fatalf("no counter %s", name)
+	return 0
+}
+
+// stubRecord is what the stub executor returns for (d, bench).
+func stubRecord(d tlc.Design, bench string) api.RunRecord {
+	return api.RunRecord{Design: d.String(), Benchmark: bench, Cycles: 42}
+}
+
+// TestBackpressure429 saturates a one-worker, depth-one queue and asserts
+// the overflow request is rejected with 429 + Retry-After instead of
+// queueing unboundedly.
+func TestBackpressure429(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	s, hs := newTestServer(t, Config{
+		Workers:    1,
+		QueueDepth: 1,
+		execute: func(ctx context.Context, d tlc.Design, bench string, opt tlc.Options) (api.RunRecord, error) {
+			started <- struct{}{}
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return stubRecord(d, bench), nil
+		},
+	})
+
+	// Occupy the worker, then the queue slot, with distinct configs.
+	var wg sync.WaitGroup
+	occupy := func(bench string) {
+		defer wg.Done()
+		resp, _ := postRun(t, hs.URL, api.RunRequest{Design: "TLC", Benchmark: bench}, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("occupying run %s: status %d", bench, resp.StatusCode)
+		}
+	}
+	wg.Add(1)
+	go occupy("gcc")
+	<-started // the worker holds gcc
+	wg.Add(1)
+	go occupy("mcf") // fills the queue slot
+
+	// Wait for the queue to actually hold mcf, then overflow with a third
+	// distinct config.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, data := postRun(t, hs.URL, api.RunRequest{Design: "TLC", Benchmark: "perl"}, "")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow request: status %d, want 429 (%s)", resp.StatusCode, data)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After header")
+	}
+	var apiErr api.Error
+	if err := json.Unmarshal(data, &apiErr); err != nil || apiErr.Error == "" {
+		t.Errorf("429 body is not an api.Error: %s", data)
+	}
+	if got := counter(t, s, "server.runs.rejected"); got != 1 {
+		t.Errorf("rejected counter = %d, want 1", got)
+	}
+
+	close(release) // finish gcc and mcf; later executions return immediately
+	wg.Wait()
+	// The rejected key must not linger as a dead flight: retrying succeeds.
+	resp, data = postRun(t, hs.URL, api.RunRequest{Design: "TLC", Benchmark: "perl"}, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry after 429: status %d (%s)", resp.StatusCode, data)
+	}
+}
+
+// TestDeadlineCancelsRun: a request whose deadline expires gets 504 and its
+// abandoned run's context is cancelled, so the execution stops cooperatively.
+func TestDeadlineCancelsRun(t *testing.T) {
+	cancelled := make(chan struct{})
+	s, hs := newTestServer(t, Config{
+		Workers: 1,
+		execute: func(ctx context.Context, d tlc.Design, bench string, opt tlc.Options) (api.RunRecord, error) {
+			<-ctx.Done() // simulate a long run that polls cancellation
+			close(cancelled)
+			return api.RunRecord{}, ctx.Err()
+		},
+	})
+
+	resp, data := postRun(t, hs.URL, api.RunRequest{Design: "TLC", Benchmark: "gcc"}, "?timeout_ms=50")
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired request: status %d, want 504 (%s)", resp.StatusCode, data)
+	}
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoned run's context was never cancelled")
+	}
+	if got := counter(t, s, "server.runs.deadline_exceeded"); got != 1 {
+		t.Errorf("deadline counter = %d, want 1", got)
+	}
+	// The cancelled run must not be cached as a result.
+	s.mu.Lock()
+	n := s.cache.len()
+	s.mu.Unlock()
+	if n != 0 {
+		t.Errorf("cancelled run landed in the result cache (%d entries)", n)
+	}
+}
+
+// TestCoalescing: concurrent identical requests execute exactly once; the
+// extras are marked coalesced. A follow-up request hits the result cache
+// with zero further executions.
+func TestCoalescing(t *testing.T) {
+	var executions atomic.Uint64
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	s, hs := newTestServer(t, Config{
+		Workers: 4,
+		execute: func(ctx context.Context, d tlc.Design, bench string, opt tlc.Options) (api.RunRecord, error) {
+			executions.Add(1)
+			once.Do(func() { close(started) })
+			<-release
+			return stubRecord(d, bench), nil
+		},
+	})
+
+	req := api.RunRequest{Design: "TLC", Benchmark: "gcc"}
+	const callers = 6
+	var wg sync.WaitGroup
+	var coalesced atomic.Uint64
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, data := postRun(t, hs.URL, req, "")
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d (%s)", resp.StatusCode, data)
+				return
+			}
+			if decodeRecord(t, data).Coalesced {
+				coalesced.Add(1)
+			}
+		}()
+		if i == 0 {
+			select {
+			case <-started:
+			case <-time.After(5 * time.Second):
+				t.Fatal("first request never started executing")
+			}
+		}
+	}
+	// All joiners are waiting on the one flight; release it.
+	for counter(t, s, "server.runs.coalesced") < callers-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := executions.Load(); got != 1 {
+		t.Fatalf("%d executions for %d concurrent identical requests, want 1", got, callers)
+	}
+	if got := coalesced.Load(); got != callers-1 {
+		t.Errorf("%d responses marked coalesced, want %d", got, callers-1)
+	}
+
+	// Identical follow-up: served from cache, no new execution.
+	resp, data := postRun(t, hs.URL, req, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached request: status %d", resp.StatusCode)
+	}
+	rec := decodeRecord(t, data)
+	if !rec.Cached {
+		t.Error("follow-up request not marked cached")
+	}
+	if got := executions.Load(); got != 1 {
+		t.Fatalf("cache hit triggered execution %d", got)
+	}
+	if got := counter(t, s, "server.runs.cache_hits"); got != 1 {
+		t.Errorf("cache_hits counter = %d, want 1", got)
+	}
+
+	// GET by content address finds the same record.
+	id, err := req.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ID != id {
+		t.Errorf("record ID %q != content address %q", rec.ID, id)
+	}
+	gresp, err := http.Get(hs.URL + "/v1/runs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gresp.Body.Close()
+	if gresp.StatusCode != http.StatusOK {
+		t.Errorf("GET by id: status %d", gresp.StatusCode)
+	}
+	if gresp2, err := http.Get(hs.URL + "/v1/runs/no-such-id"); err == nil {
+		gresp2.Body.Close()
+		if gresp2.StatusCode != http.StatusNotFound {
+			t.Errorf("GET unknown id: status %d, want 404", gresp2.StatusCode)
+		}
+	}
+}
+
+// TestServedMatchesInProcess is the byte-identity contract: a run served
+// over HTTP reconstructs exactly the tlc.Result an in-process run returns.
+func TestServedMatchesInProcess(t *testing.T) {
+	opt := tinyOptions()
+	_, hs := newTestServer(t, Config{Workers: 2, BaseOptions: opt})
+
+	req := api.RunRequest{Design: "TLC", Benchmark: "perl", Options: api.FromOptions(opt)}
+	resp, data := postRun(t, hs.URL, req, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (%s)", resp.StatusCode, data)
+	}
+	served, err := decodeRecord(t, data).ToResult()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := tlc.Run(tlc.DesignTLC, "perl", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served != local {
+		t.Fatalf("served result diverged from in-process run:\nserved %+v\nlocal  %+v", served, local)
+	}
+}
+
+// TestRunErrorNotCached: a failing run answers 500 and is re-attempted on
+// retry rather than served from the cache.
+func TestRunErrorNotCached(t *testing.T) {
+	var executions atomic.Uint64
+	s, hs := newTestServer(t, Config{
+		Workers: 1,
+		execute: func(ctx context.Context, d tlc.Design, bench string, opt tlc.Options) (api.RunRecord, error) {
+			executions.Add(1)
+			return api.RunRecord{}, fmt.Errorf("boom %d", executions.Load())
+		},
+	})
+	for i := 1; i <= 2; i++ {
+		resp, data := postRun(t, hs.URL, api.RunRequest{Design: "TLC", Benchmark: "gcc"}, "")
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("attempt %d: status %d (%s)", i, resp.StatusCode, data)
+		}
+	}
+	if got := executions.Load(); got != 2 {
+		t.Fatalf("%d executions, want 2 (errors are not cached)", got)
+	}
+	if got := counter(t, s, "server.runs.failed"); got != 2 {
+		t.Errorf("failed counter = %d, want 2", got)
+	}
+}
+
+// TestValidation: malformed bodies and unknown names are 400s.
+func TestValidation(t *testing.T) {
+	_, hs := newTestServer(t, Config{
+		Workers: 1,
+		execute: func(ctx context.Context, d tlc.Design, bench string, opt tlc.Options) (api.RunRecord, error) {
+			return stubRecord(d, bench), nil
+		},
+	})
+	for name, body := range map[string]string{
+		"not json":          "{nope",
+		"unknown design":    `{"design":"NOPE","benchmark":"gcc"}`,
+		"unknown benchmark": `{"design":"TLC","benchmark":"nope"}`,
+	} {
+		resp, err := http.Post(hs.URL+"/v1/runs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(hs.URL+"/v1/runs?timeout_ms=-5", "application/json",
+		strings.NewReader(`{"design":"TLC","benchmark":"gcc"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative timeout: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestDrain: draining answers 503 on healthz and new runs, completes queued
+// work, and Drain returns cleanly.
+func TestDrain(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	s, hs := newTestServer(t, Config{
+		Workers: 1,
+		execute: func(ctx context.Context, d tlc.Design, bench string, opt tlc.Options) (api.RunRecord, error) {
+			once.Do(func() { close(started) })
+			<-release
+			return stubRecord(d, bench), nil
+		},
+	})
+
+	// An in-flight run spans the drain: its waiter must still get a result.
+	type outcome struct {
+		status int
+		rec    api.RunRecord
+	}
+	resc := make(chan outcome, 1)
+	go func() {
+		resp, data := postRun(t, hs.URL, api.RunRequest{Design: "TLC", Benchmark: "gcc"}, "")
+		var rec api.RunRecord
+		json.Unmarshal(data, &rec)
+		resc <- outcome{resp.StatusCode, rec}
+	}()
+	<-started
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	if resp, err := http.Get(hs.URL + "/healthz"); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("healthz while draining: status %d, want 503", resp.StatusCode)
+		}
+	}
+	resp, _ := postRun(t, hs.URL, api.RunRequest{Design: "TLC", Benchmark: "mcf"}, "")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("new run while draining: status %d, want 503", resp.StatusCode)
+	}
+
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	out := <-resc
+	if out.status != http.StatusOK || out.rec.Cycles != 42 {
+		t.Errorf("run spanning drain: status %d rec %+v", out.status, out.rec)
+	}
+}
+
+// TestFigureStatic: the physics-only figures render without simulation.
+func TestFigureStatic(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(hs.URL + "/v1/figures/table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("table1: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(data), "Transmission Line Dimensions") {
+		t.Errorf("table1 content implausible: %.80s", data)
+	}
+	if resp, err := http.Get(hs.URL + "/v1/figures/nope"); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown figure: status %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+// TestMetricz: the server's own counters are served as a sorted snapshot.
+func TestMetricz(t *testing.T) {
+	_, hs := newTestServer(t, Config{
+		Workers: 1,
+		execute: func(ctx context.Context, d tlc.Design, bench string, opt tlc.Options) (api.RunRecord, error) {
+			return stubRecord(d, bench), nil
+		},
+	})
+	postRun(t, hs.URL, api.RunRequest{Design: "TLC", Benchmark: "gcc"}, "")
+	resp, err := http.Get(hs.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap []struct {
+		Name  string  `json:"name"`
+		Value float64 `json:"value"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, m := range snap {
+		vals[m.Name] = m.Value
+	}
+	if vals["server.runs.executed"] != 1 {
+		t.Errorf("metricz executed = %v, want 1", vals["server.runs.executed"])
+	}
+	if vals["server.http.requests"] < 1 {
+		t.Error("metricz http.requests not counted")
+	}
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Coverage gate, as run by CI (and runnable locally:
+# scripts/coverage_check.sh [outdir]).
+#
+# Runs the tier-1 test suite with -coverprofile, renders the HTML report,
+# and enforces the committed floor in .github/coverage-floor.txt: total
+# statement coverage below the floor fails. The floor is a ratchet — raise
+# it when coverage rises, never lower it to admit a regression.
+#
+# -short keeps the gate fast and deterministic: the long simulated-figure
+# tests exercise scale, not additional branches.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+outdir="${1:-coverage}"
+mkdir -p "$outdir"
+
+go test -short -count=1 -coverprofile="$outdir/cover.out" ./...
+go tool cover -html="$outdir/cover.out" -o "$outdir/cover.html"
+go tool cover -func="$outdir/cover.out" > "$outdir/cover.txt"
+
+total=$(awk '/^total:/ {gsub(/%/, "", $NF); print $NF}' "$outdir/cover.txt")
+floor=$(cat .github/coverage-floor.txt)
+
+echo "total statement coverage: ${total}% (floor: ${floor}%)"
+if awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t < f) }'; then
+    echo "coverage_check: FAIL: coverage ${total}% fell below the floor ${floor}%" >&2
+    echo "(fix the regression, or justify lowering .github/coverage-floor.txt)" >&2
+    exit 1
+fi
+echo "coverage_check: PASS"

@@ -108,6 +108,18 @@ type Options struct {
 	// when SampleIntervals > 0).
 	SampleLength uint64
 
+	// Cancel, when non-nil, is polled at batch boundaries (every few
+	// thousand instructions) during warm-up and timed execution. When it
+	// returns a non-nil error the run aborts and Run returns that error;
+	// partially warmed state is discarded and never checkpointed. Pass a
+	// context's Err method to bound a run by a deadline:
+	//
+	//	opt.Cancel = ctx.Err
+	//
+	// Cancellation is cooperative and read-only: a run that was not
+	// cancelled is bit-identical to one executed with Cancel unset.
+	Cancel func() error
+
 	// OnMetrics, when set, receives the run's full metric-registry
 	// snapshot after timing finishes — every counter, gauge, and histogram
 	// each simulation layer registered, far beyond the fields Result
@@ -439,11 +451,68 @@ func configHashOf(d Design, sys config.System, spec workload.Spec, np config.NUC
 	return k.sum()
 }
 
+// ContentKey hashes every Options field that shapes a run's simulated
+// outcome — warm/timed lengths, seeds, the memory model, noise injection,
+// and the sampling plan — with the same typed field-by-field encoding the
+// checkpoint key uses. Fields that change how a run executes but not what
+// it computes (Checkpoints, OnMetrics, Probe, Cancel) are deliberately
+// excluded: a checkpointed, sampled-observer, or cancellable run with equal
+// content fields is bit-identical to a plain one.
+func (o Options) ContentKey() string {
+	k := newKeyHasher()
+	k.u64(o.WarmInstructions)
+	k.u64(o.RunInstructions)
+	k.u64(uint64(o.Seed))
+	k.b(o.UseDRAM)
+	k.f(o.BitErrorRate)
+	k.u64(uint64(o.WarmSeed))
+	k.i(o.SampleIntervals)
+	k.u64(o.SampleLength)
+	return k.sum()
+}
+
+// RunKey is the content address of one (design, benchmark, Options) run:
+// equal keys provably name bit-identical results, so a result cache keyed
+// by it (the tlcd service's) can serve hits without re-simulating. It folds
+// the full design/system/workload configuration (configHash) with the
+// benchmark name and the Options content fields. Unknown benchmark names
+// hash fine (the spec folds as its zero value plus the name), erroring only
+// when the run actually executes.
+func RunKey(d Design, benchmark string, opt Options) string {
+	spec, _ := workload.SpecByName(benchmark)
+	k := newKeyHasher()
+	k.str(configHash(d, spec))
+	k.str(benchmark)
+	k.str(opt.ContentKey())
+	return k.sum()
+}
+
+// SummarizeSeeds folds per-seed observations into SeedStats in slice order.
+// RunSeeds uses it, and remote seed sweeps (tlcsweep -remote) reuse it on
+// individually fetched results so both paths compute — to the bit — the
+// same statistics.
+func SummarizeSeeds(vals []float64) SeedStats {
+	st := SeedStats{Min: vals[0], Max: vals[0]}
+	for _, v := range vals {
+		st.Mean += v
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+	}
+	st.Mean /= float64(len(vals))
+	return st
+}
+
 // prepare builds the machine for a run and brings it to measured-interval
 // start: post-warm cache state with the generator positioned (and seeded)
 // for the timed stream. Warm-up restores from opt.Checkpoints when
-// possible, re-executing (and storing the result) otherwise.
-func prepare(d Design, spec workload.Spec, opt Options) (l2.Instrumented, *cpu.Core, *workload.Generator) {
+// possible, re-executing (and storing the result) otherwise. A non-nil
+// error means opt.Cancel aborted the warm-up; the half-warm machine is
+// discarded, never checkpointed.
+func prepare(d Design, spec workload.Spec, opt Options) (l2.Instrumented, *cpu.Core, *workload.Generator, error) {
 	sys := config.DefaultSystem()
 	inst := build(d, opt)
 	warmSeed := opt.WarmSeed
@@ -456,6 +525,7 @@ func prepare(d Design, spec workload.Spec, opt Options) (l2.Instrumented, *cpu.C
 	}
 	gen := workload.New(spec, warmSeed)
 	core := cpu.New(sys, inst)
+	core.SetCancel(opt.Cancel)
 	// The design's registry becomes the run's: the core and the generator
 	// publish alongside the cache layers.
 	core.RegisterMetrics(inst.Metrics())
@@ -474,6 +544,12 @@ func prepare(d Design, spec workload.Spec, opt Options) (l2.Instrumented, *cpu.C
 		// recency and migration steady state.
 		gen.PreWarm(inst)
 		core.Warm(gen, warm)
+		if err := core.CancelErr(); err != nil {
+			// An aborted warm-up leaves the machine mid-stream: surface the
+			// cancellation and, critically, keep the half-warm state out of
+			// the checkpoint store.
+			return nil, nil, nil, fmt.Errorf("tlc: %v %s warm-up cancelled: %w", d, spec.Name, err)
+		}
 		if opt.Checkpoints != nil {
 			if snap, ok := inst.(l2.Snapshotter); ok {
 				opt.Checkpoints.Put(key, snapshot.Checkpoint{
@@ -492,7 +568,7 @@ func prepare(d Design, spec workload.Spec, opt Options) (l2.Instrumented, *cpu.C
 	// The generator's counters, like every other metric, cover only the
 	// timed interval — whether warm-up ran or a checkpoint skipped it.
 	gen.ResetCounters()
-	return inst, core, gen
+	return inst, core, gen, nil
 }
 
 // restoreCheckpoint applies a stored checkpoint; a false return (type or
@@ -518,8 +594,14 @@ func RunSpec(d Design, spec workload.Spec, opt Options) (Result, error) {
 		sres, err := RunSpecSampled(d, spec, opt)
 		return sres.Result, err
 	}
-	inst, core, gen := prepare(d, spec, opt)
+	inst, core, gen, err := prepare(d, spec, opt)
+	if err != nil {
+		return Result{}, err
+	}
 	cr := core.Run(gen, opt.RunInstructions)
+	if err := core.CancelErr(); err != nil {
+		return Result{}, fmt.Errorf("tlc: %v %s run cancelled: %w", d, spec.Name, err)
+	}
 	res := assemble(d, spec.Name, inst.Metrics(), cr.Instructions, cr.Cycles)
 	res.Instructions = cr.Instructions
 	res.Cycles = uint64(cr.Cycles)
@@ -618,7 +700,10 @@ func RunSpecSampled(d Design, spec workload.Spec, opt Options) (SampledResult, e
 	if err := sopt.Validate(opt.RunInstructions); err != nil {
 		return SampledResult{}, err
 	}
-	inst, core, gen := prepare(d, spec, opt)
+	inst, core, gen, err := prepare(d, spec, opt)
+	if err != nil {
+		return SampledResult{}, err
+	}
 	reg := inst.Metrics()
 
 	// Per-interval L2 stat deltas feed the lookup-latency and miss-rate
@@ -650,6 +735,9 @@ func RunSpecSampled(d Design, spec workload.Spec, opt Options) (SampledResult, e
 		prevVals, curVals = curVals, prevVals
 	})
 
+	if err := core.CancelErr(); err != nil {
+		return SampledResult{}, fmt.Errorf("tlc: %v %s run cancelled: %w", d, spec.Name, err)
+	}
 	estCycles := est.Cycles()
 	// The L2 counters cover only the detailed instructions; rates are
 	// computed over that denominator, and the absolute load/store counts
@@ -723,20 +811,6 @@ func RunSeeds(d Design, benchmark string, opt Options, seeds []int64) (cycles, l
 	if opt.Checkpoints == nil {
 		opt.Checkpoints = NewCheckpointStore(0, "")
 	}
-	summ := func(vals []float64) SeedStats {
-		st := SeedStats{Min: vals[0], Max: vals[0]}
-		for _, v := range vals {
-			st.Mean += v
-			if v < st.Min {
-				st.Min = v
-			}
-			if v > st.Max {
-				st.Max = v
-			}
-		}
-		st.Mean /= float64(len(vals))
-		return st
-	}
 	var cs, ls, ms []float64
 	for _, seed := range seeds {
 		o := opt
@@ -749,7 +823,7 @@ func RunSeeds(d Design, benchmark string, opt Options, seeds []int64) (cycles, l
 		ls = append(ls, res.MeanLookup)
 		ms = append(ms, res.MissesPer1K)
 	}
-	return summ(cs), summ(ls), summ(ms), nil
+	return SummarizeSeeds(cs), SummarizeSeeds(ls), SummarizeSeeds(ms), nil
 }
 
 // AreaBreakdown is one Table 7 row.
