@@ -33,6 +33,10 @@ type Client struct {
 	Retries int
 	// Backoff is the initial retry delay for responses without a
 	// Retry-After header; it doubles per attempt and is capped at MaxBackoff.
+	// MaxBackoff bounds only this exponential path: a server-provided
+	// Retry-After is honored as-is — under a long backlog the server's
+	// estimate can be minutes, and retrying earlier just burns attempts on
+	// guaranteed 429s. Bound total waiting with the request context instead.
 	Backoff    time.Duration
 	MaxBackoff time.Duration
 }
@@ -82,6 +86,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	backoff := c.Backoff
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		fromRetryAfter := false
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
@@ -130,6 +135,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 				if ra := resp.Header.Get("Retry-After"); ra != "" {
 					if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 {
 						wait = time.Duration(secs) * time.Second
+						fromRetryAfter = true
 					}
 				}
 			}
@@ -142,7 +148,10 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		if backoff > c.MaxBackoff {
 			backoff = c.MaxBackoff
 		}
-		if wait > c.MaxBackoff {
+		// MaxBackoff caps only the exponential path; a server-provided
+		// Retry-After is the exact time space frees — waiting less would
+		// burn the remaining attempts on guaranteed 429s.
+		if wait > c.MaxBackoff && !fromRetryAfter {
 			wait = c.MaxBackoff
 		}
 		select {

@@ -48,6 +48,40 @@ func TestRetryOn429(t *testing.T) {
 	}
 }
 
+// TestRetryAfterNotClampedByMaxBackoff: a server-provided Retry-After
+// beyond MaxBackoff is honored in full — MaxBackoff caps only the
+// exponential backoff path, so a long-backlog estimate (minutes) is not
+// turned into a burst of early retries.
+func TestRetryAfterNotClampedByMaxBackoff(t *testing.T) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(api.Error{Error: "run queue is full"})
+			return
+		}
+		json.NewEncoder(w).Encode(api.RunRecord{Design: "TLC", Benchmark: "gcc", Cycles: 7})
+	}))
+	defer hs.Close()
+
+	c := fastClient(hs.URL) // MaxBackoff 5ms, far below the 1s Retry-After
+	start := time.Now()
+	rec, err := c.Run(context.Background(), api.RunRequest{Design: "TLC", Benchmark: "gcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Cycles != 7 {
+		t.Fatalf("rec = %+v", rec)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("%d requests, want 2 (one 429 then success)", got)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retried after %v, want the full 1s Retry-After honored", elapsed)
+	}
+}
+
 // TestNoRetryOn400And500: deterministic failures surface immediately.
 func TestNoRetryOn400And500(t *testing.T) {
 	for _, status := range []int{http.StatusBadRequest, http.StatusInternalServerError} {

@@ -303,6 +303,26 @@ func isCancellation(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// Seed installs an already-computed result for (d, bench), making later
+// table and figure builds of that key pure cache lookups. The tlcd server
+// uses it to replay records from its content-addressed result cache into a
+// fresh (or LRU-rebuilt) suite without re-simulating. A key that is already
+// cached or in flight is left alone. sres carries the confidence intervals
+// when the suite runs sampled; it may be nil otherwise.
+func (s *Suite) Seed(d tlc.Design, bench string, res tlc.Result, sres *tlc.SampledResult) {
+	f := &flight{done: make(chan struct{}), res: res}
+	if sres != nil {
+		f.sres = *sres
+	}
+	close(f.done)
+	key := runKey{d, bench}
+	s.mu.Lock()
+	if _, ok := s.cache[key]; !ok {
+		s.cache[key] = f
+	}
+	s.mu.Unlock()
+}
+
 // Metrics reports a snapshot of the suite's cache and timing counters.
 func (s *Suite) Metrics() Metrics {
 	s.mu.Lock()

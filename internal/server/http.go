@@ -197,12 +197,33 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 				wg.Add(1)
 				go func(d tlc.Design, b string) {
 					defer wg.Done()
-					if _, herr := s.submitKeyed(ctx, d, b, s.cfg.BaseOptions, true); herr != nil {
+					rec, herr := s.submitKeyed(ctx, d, b, s.cfg.BaseOptions, true)
+					if herr != nil {
 						mu.Lock()
 						if first == nil {
 							first = herr
 						}
 						mu.Unlock()
+						return
+					}
+					// Seed the rendering suite from the returned record: a
+					// grid point served from the result cache never touched
+					// this suite (it may be fresh, or rebuilt after LRU
+					// eviction), and render below must be a pure lookup —
+					// not a serial background-context re-simulation inside
+					// the HTTP handler that would bypass the worker pool
+					// and the request deadline.
+					if rec.Result != nil {
+						var sres *tlc.SampledResult
+						if suite.Sampled() {
+							sres = &tlc.SampledResult{
+								Result:        *rec.Result,
+								CyclesCI:      rec.CyclesCI,
+								MeanLookupCI:  rec.MeanLookupCI,
+								MissesPer1KCI: rec.MissesPer1KCI,
+							}
+						}
+						suite.Seed(d, b, *rec.Result, sres)
 					}
 				}(d, b)
 			}

@@ -82,6 +82,15 @@ type Server struct {
 
 	queue   chan *runFlight
 	workers sync.WaitGroup
+	// drain closes when Drain begins: blocked figure-grid enqueues abort on
+	// it with 503 instead of sending into a shutting-down pool. settled
+	// closes once every blocking enqueue admitted before the drain has
+	// resolved (tracked by sending), after which the queue can only shrink
+	// and workers exit when it empties. The queue channel itself is never
+	// closed, so no send can panic during shutdown.
+	drain   chan struct{}
+	settled chan struct{}
+	sending sync.WaitGroup
 
 	// Counters behind /metricz; atomics so the HTTP paths never contend
 	// with the worker pool on mu for bookkeeping.
@@ -160,6 +169,8 @@ func New(cfg Config) *Server {
 		flights:  make(map[string]*runFlight),
 		cache:    newLRU(cfg.CacheSize),
 		queue:    make(chan *runFlight, cfg.QueueDepth),
+		drain:    make(chan struct{}),
+		settled:  make(chan struct{}),
 	}
 	if s.cfg.execute == nil {
 		s.cfg.execute = s.executeSuite
@@ -236,10 +247,15 @@ func (s *Server) submitKeyed(ctx context.Context, d tlc.Design, bench string, op
 		return api.RunRecord{}, &httpError{status: 503, msg: "server is draining"}
 	}
 	f, joined := s.flights[key]
-	if joined {
+	// Never coalesce onto a flight whose context is already cancelled (its
+	// last waiter gave up): incrementing refs cannot un-cancel it, so a
+	// joiner would inherit a spurious "context canceled" failure. deref
+	// removes dead flights under mu, so this is defense in depth.
+	if joined && f.ctx.Err() == nil {
 		f.refs++
 		s.nCoalesced.Add(1)
 	} else {
+		joined = false
 		f = &runFlight{key: key, design: d, bench: bench, opt: opt, done: make(chan struct{}), refs: 1}
 		f.ctx, f.cancel = context.WithCancel(context.Background())
 		s.flights[key] = f
@@ -257,19 +273,18 @@ func (s *Server) submitKeyed(ctx context.Context, d tlc.Design, bench string, op
 					retryAfter: s.retryAfterSeconds(),
 				}
 			}
+		} else {
+			// Register the upcoming blocking enqueue while mu still
+			// guarantees !draining, so Drain can wait for it to resolve
+			// before telling the workers the queue is settled.
+			s.sending.Add(1)
 		}
 	}
 	s.mu.Unlock()
 
 	if wait && !joined {
-		// Blocking enqueue, abandoned if the requester's ctx dies first.
-		select {
-		case s.queue <- f:
-		case <-ctx.Done():
-			s.deref(f)
-			s.abandonQueued(f)
-			s.nDeadline.Add(1)
-			return api.RunRecord{}, &httpError{status: 504, msg: ctx.Err().Error()}
+		if herr := s.blockingEnqueue(ctx, f); herr != nil {
+			return api.RunRecord{}, herr
 		}
 	}
 
@@ -290,35 +305,74 @@ func (s *Server) submitKeyed(ctx context.Context, d tlc.Design, bench string, op
 	return rec, nil
 }
 
-// deref drops one waiter's interest in a flight; the last one out cancels
-// the flight's context so an execution nobody is waiting for stops at its
-// next batch boundary.
-func (s *Server) deref(f *runFlight) {
-	s.mu.Lock()
-	f.refs--
-	last := f.refs == 0
-	s.mu.Unlock()
-	if last {
-		f.cancel()
+// blockingEnqueue submits a freshly installed flight to the queue, blocking
+// until space frees — the figure-grid fill path, where backpressure must
+// queue, not reject. It aborts if the requester's ctx dies or the server
+// starts draining first; the aborted flight never reached a worker and
+// never will, so it is removed from the flights map and failed so that any
+// coalesced joiners get an answer instead of waiting out their deadlines.
+func (s *Server) blockingEnqueue(ctx context.Context, f *runFlight) *httpError {
+	var herr *httpError
+	select {
+	case s.queue <- f:
+		s.sending.Done()
+		return nil
+	case <-s.drain:
+		herr = &httpError{status: 503, msg: "server is draining"}
+	case <-ctx.Done():
+		s.nDeadline.Add(1)
+		herr = &httpError{status: 504, msg: ctx.Err().Error()}
 	}
-}
-
-// abandonQueued removes a flight that was never (or not yet) picked up by a
-// worker. If a worker grabbed it concurrently, the cancelled context makes
-// the execution a fast no-op and the worker cleans up as usual.
-func (s *Server) abandonQueued(f *runFlight) {
+	s.sending.Done()
 	s.mu.Lock()
 	if s.flights[f.key] == f {
 		delete(s.flights, f.key)
 	}
 	s.mu.Unlock()
+	f.err = fmt.Errorf("run was never scheduled: %s", herr.msg)
+	close(f.done)
+	s.deref(f)
+	return herr
 }
 
-// worker drains the queue until Drain closes it.
+// deref drops one waiter's interest in a flight; the last one out cancels
+// the flight's context so an execution nobody is waiting for stops at its
+// next batch boundary, and removes the dead flight from the flights map so
+// a later identical request installs a fresh one instead of coalescing onto
+// a cancelled context. Cancel and removal happen under mu: a concurrent
+// submit either joined before refs hit zero (no cancel) or serializes
+// after and finds the key absent — refs never resurrect from zero.
+func (s *Server) deref(f *runFlight) {
+	s.mu.Lock()
+	f.refs--
+	if f.refs == 0 {
+		f.cancel()
+		if s.flights[f.key] == f {
+			delete(s.flights, f.key)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// worker executes queued flights until the queue is settled (Drain has
+// begun and every pending enqueue has resolved) and empty.
 func (s *Server) worker() {
 	defer s.workers.Done()
-	for f := range s.queue {
-		s.runOne(f)
+	for {
+		select {
+		case f := <-s.queue:
+			s.runOne(f)
+		case <-s.settled:
+			// The queue can only shrink now: finish what's left and exit.
+			for {
+				select {
+				case f := <-s.queue:
+					s.runOne(f)
+				default:
+					return
+				}
+			}
+		}
 	}
 }
 
@@ -456,10 +510,19 @@ func (s *Server) Drain(ctx context.Context) error {
 		return fmt.Errorf("server: already draining")
 	}
 	s.draining = true
-	// Intake is gated on draining under mu, so no further sends can race
-	// this close.
-	close(s.queue)
+	close(s.drain)
 	s.mu.Unlock()
+
+	// The queue channel is never closed — a figure-grid enqueue blocked on
+	// a full queue could otherwise panic sending into it. Instead, wait for
+	// the blocking enqueues admitted before draining flipped to resolve
+	// (each lands in the queue or aborts on s.drain with a 503), then tell
+	// the workers the queue is settled so they exit once it empties. New
+	// sends register under mu while !draining, so none can start now.
+	go func() {
+		s.sending.Wait()
+		close(s.settled)
+	}()
 
 	done := make(chan struct{})
 	go func() {

@@ -429,6 +429,183 @@ func TestDrain(t *testing.T) {
 	}
 }
 
+// TestDrainWithBlockedEnqueue: a figure-grid submit blocked on a full queue
+// when Drain begins must fail with 503, not panic the process with a send
+// on a closed channel (the queue channel is never closed).
+func TestDrainWithBlockedEnqueue(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	s, hs := newTestServer(t, Config{
+		Workers:    1,
+		QueueDepth: 1,
+		execute: func(ctx context.Context, d tlc.Design, bench string, opt tlc.Options) (api.RunRecord, error) {
+			started <- struct{}{}
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return stubRecord(d, bench), nil
+		},
+	})
+
+	// Occupy the worker and the single queue slot.
+	var wg sync.WaitGroup
+	for _, bench := range []string{"gcc", "mcf"} {
+		wg.Add(1)
+		go func(bench string) {
+			defer wg.Done()
+			resp, _ := postRun(t, hs.URL, api.RunRequest{Design: "TLC", Benchmark: bench}, "")
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("occupying run %s: status %d", bench, resp.StatusCode)
+			}
+		}(bench)
+		if bench == "gcc" {
+			<-started // the worker holds gcc before mcf takes the queue slot
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A wait=true submit (the figure-grid path) now blocks on the send.
+	blocked := make(chan *httpError, 1)
+	go func() {
+		_, herr := s.submitKeyed(context.Background(), tlc.DesignTLC, "perl", tlc.DefaultOptions(), true)
+		blocked <- herr
+	}()
+	time.Sleep(50 * time.Millisecond) // let it reach the blocking enqueue
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+
+	select {
+	case herr := <-blocked:
+		if herr == nil || herr.status != http.StatusServiceUnavailable {
+			t.Fatalf("blocked enqueue during drain: %+v, want 503", herr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked enqueue never resolved during drain")
+	}
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+}
+
+// TestNoCoalesceOntoCancelledFlight: after the last waiter of a queued run
+// times out (cancelling the flight's context), a new identical request must
+// install a fresh flight and succeed — not join the dead one and get a
+// spurious "context canceled" 500.
+func TestNoCoalesceOntoCancelledFlight(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	_, hs := newTestServer(t, Config{
+		Workers:    1,
+		QueueDepth: 2,
+		execute: func(ctx context.Context, d tlc.Design, bench string, opt tlc.Options) (api.RunRecord, error) {
+			if err := ctx.Err(); err != nil {
+				return api.RunRecord{}, err
+			}
+			started <- struct{}{}
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return api.RunRecord{}, ctx.Err()
+			}
+			return stubRecord(d, bench), nil
+		},
+	})
+
+	// Occupy the worker with gcc; mcf queues behind it and its only waiter
+	// times out, cancelling the mcf flight's context while it is queued.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, _ := postRun(t, hs.URL, api.RunRequest{Design: "TLC", Benchmark: "gcc"}, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("gcc: status %d", resp.StatusCode)
+		}
+	}()
+	<-started
+	resp, data := postRun(t, hs.URL, api.RunRequest{Design: "TLC", Benchmark: "mcf"}, "?timeout_ms=50")
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("queued mcf with 50ms deadline: status %d, want 504 (%s)", resp.StatusCode, data)
+	}
+
+	// A fresh mcf request while the worker is still busy must not inherit
+	// the cancelled flight.
+	type outcome struct {
+		status int
+		data   []byte
+	}
+	resc := make(chan outcome, 1)
+	go func() {
+		resp, data := postRun(t, hs.URL, api.RunRequest{Design: "TLC", Benchmark: "mcf"}, "")
+		resc <- outcome{resp.StatusCode, data}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	out := <-resc
+	if out.status != http.StatusOK {
+		t.Fatalf("mcf after its predecessor was cancelled: status %d, want 200 (%s)", out.status, out.data)
+	}
+	if rec := decodeRecord(t, out.data); rec.Cycles != 42 {
+		t.Errorf("mcf record %+v, want the executed stub result", rec)
+	}
+	wg.Wait()
+}
+
+// TestFigureRendersWithoutResimulating: a simulated figure must render from
+// the records its grid fill returned (seeding the suite), never by serially
+// re-simulating grid points with a background context inside the handler —
+// even when the suite holds none of the results (fresh suite, or results
+// served straight from the LRU cache).
+func TestFigureRendersWithoutResimulating(t *testing.T) {
+	var executions atomic.Uint64
+	s, hs := newTestServer(t, Config{
+		Workers:     4,
+		BaseOptions: tinyOptions(),
+		execute: func(ctx context.Context, d tlc.Design, bench string, opt tlc.Options) (api.RunRecord, error) {
+			executions.Add(1)
+			rec := stubRecord(d, bench)
+			rec.Result = &tlc.Result{Design: d, Benchmark: bench, Instructions: 1000, Cycles: 42}
+			return rec, nil
+		},
+	})
+
+	grid := uint64(2 * len(tlc.Benchmarks())) // table9: {DNUCA, TLC} x benches
+	for fetch := 1; fetch <= 2; fetch++ {
+		resp, err := http.Get(hs.URL + "/v1/figures/table9")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("fetch %d: status %d (%s)", fetch, resp.StatusCode, data)
+		}
+		if !strings.Contains(string(data), "Dynamic Components") {
+			t.Fatalf("fetch %d: implausible table9: %.80s", fetch, data)
+		}
+		if got := executions.Load(); got != grid {
+			t.Fatalf("fetch %d: %d executions, want %d (second fetch must be all cache hits)", fetch, got, grid)
+		}
+		if sim := s.suiteFor(s.cfg.BaseOptions).Metrics().Simulated; sim != 0 {
+			t.Fatalf("fetch %d: render re-simulated %d grid points in the handler", fetch, sim)
+		}
+	}
+}
+
 // TestFigureStatic: the physics-only figures render without simulation.
 func TestFigureStatic(t *testing.T) {
 	_, hs := newTestServer(t, Config{Workers: 1})
