@@ -6,11 +6,11 @@
 //	tlcsweep -seeds         # seed robustness of the headline comparisons
 //	tlcsweep -geometry      # width x length signal-integrity acceptance
 //	tlcsweep -bench mcf     # benchmark for the simulation sweeps
-//	tlcsweep -par 8         # simulation parallelism
+//	tlcsweep -par 8         # simulation parallelism (local execution)
 //	tlcsweep -quick         # shorter runs (tlctables -quick lengths)
 //	tlcsweep -ckptdir DIR   # persist warm-state checkpoints across runs
 //	tlcsweep -metrics FILE  # full registry dump for every simulated run
-//	tlcsweep -remote ADDR   # run the sweeps against a tlcd server
+//	tlcsweep -remote ADDR   # run the sweeps against a tlcd server or fleet
 //
 // All simulation sweeps share one warm-state checkpoint store: the memory
 // sweep's flat and banked-DRAM runs warm identically (warm-up is functional),
@@ -20,10 +20,12 @@
 // Simulation runs are deterministic and independent, so output is
 // byte-identical for every -par value: workers fill result slots keyed by
 // grid position and rendering stays serial. The same holds across -remote:
-// a tlcd server executes the identical deterministic simulations, the
-// client reconstructs the identical tlc.Result values, and the sweeps
-// render through the same code — local and remote output match byte for
-// byte (the CI service-e2e job asserts exactly this).
+// each sweep's grid goes up as one POST /v1/sweeps and streams back as
+// NDJSON, points landing in result slots by index as they complete — the
+// server (or a fleet coordinator fanning the grid across workers) executes
+// the identical deterministic simulations, and rendering is the same serial
+// code, so local, single-server, and fleet output match byte for byte (the
+// CI service-e2e and fleet-e2e jobs assert exactly this).
 package main
 
 import (
@@ -36,6 +38,7 @@ import (
 	"sync"
 
 	"tlc"
+	"tlc/internal/api"
 	"tlc/internal/client"
 	"tlc/internal/cliopt"
 	"tlc/internal/experiments"
@@ -43,18 +46,25 @@ import (
 	"tlc/internal/tline"
 )
 
-var par = flag.Int("par", runtime.NumCPU(), "simulation parallelism")
+var par = flag.Int("par", runtime.NumCPU(), "simulation parallelism (local execution)")
 
 // sweepOptions is the base configuration every simulation sweep starts
 // from: the accelerator flags applied plus the invocation-wide checkpoint
 // store, so warm state is shared wherever the keys allow.
 var sweepOptions func() tlc.Options
 
-// runResult executes one (design, benchmark, options) run — in process by
-// default, against a tlcd server under -remote. Sweeps call it
-// concurrently (bounded by -par) and render serially from the collected
-// results, so the two paths produce byte-identical output.
-var runResult func(d tlc.Design, bench string, opt tlc.Options) (tlc.Result, error)
+// runSpec is one grid point: the full configuration of one simulation.
+type runSpec struct {
+	design tlc.Design
+	bench  string
+	opt    tlc.Options
+}
+
+// runGrid executes a sweep grid and returns results in spec order — in
+// process by default (bounded by -par), as one streaming POST /v1/sweeps
+// under -remote. Results land by index, so rendering is independent of
+// completion order and byte-identical across all execution paths.
+var runGrid func(specs []runSpec) ([]tlc.Result, error)
 
 func main() {
 	bench := flag.String("bench", "mcf", "benchmark for simulation sweeps")
@@ -62,7 +72,7 @@ func main() {
 	seedsF := flag.Bool("seeds", false, "seed robustness sweep")
 	geometryF := flag.Bool("geometry", false, "transmission-line geometry acceptance")
 	quick := flag.Bool("quick", false, "shorter runs: 2M warm / 200K timed instructions")
-	remote := flag.String("remote", "", "run simulations on a tlcd server at this base URL")
+	remote := flag.String("remote", "", "run simulations on a tlcd server or fleet coordinator at this base URL")
 	accel := cliopt.Register()
 	flag.Parse()
 
@@ -79,9 +89,9 @@ func main() {
 	}
 
 	if *remote != "" {
-		runResult = remoteRunner(*remote)
+		runGrid = remoteGrid(*remote)
 	} else {
-		runResult = localRunner()
+		runGrid = localGrid()
 	}
 
 	any := false
@@ -110,36 +120,83 @@ func main() {
 	}
 }
 
-// localRunner executes runs in process through per-options suites: one
+// localGrid executes grids in process through per-options suites: one
 // suite per distinct option set (a suite keys its run cache by design and
 // benchmark only), all sharing the invocation's checkpoint store via
-// sweepOptions.
-func localRunner() func(tlc.Design, string, tlc.Options) (tlc.Result, error) {
+// sweepOptions. Concurrency is bounded by -par.
+func localGrid() func([]runSpec) ([]tlc.Result, error) {
 	var mu sync.Mutex
 	suites := make(map[string]*experiments.Suite)
-	return func(d tlc.Design, bench string, opt tlc.Options) (tlc.Result, error) {
-		key := opt.ContentKey()
+	run := func(s runSpec) (tlc.Result, error) {
+		key := s.opt.ContentKey()
 		mu.Lock()
-		s, ok := suites[key]
+		suite, ok := suites[key]
 		if !ok {
-			s = experiments.NewSuite(opt)
-			suites[key] = s
+			suite = experiments.NewSuite(s.opt)
+			suites[key] = suite
 		}
 		mu.Unlock()
-		return s.RunErr(d, bench)
+		return suite.RunErr(s.design, s.bench)
+	}
+	return func(specs []runSpec) ([]tlc.Result, error) {
+		results := make([]tlc.Result, len(specs))
+		errs := make([]error, len(specs))
+		grid(len(specs), func(i int) {
+			results[i], errs[i] = run(specs[i])
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
 	}
 }
 
-// remoteRunner executes runs on a tlcd server. Identical configurations
-// coalesce and cache server-side; the returned records embed the complete
-// tlc.Result, so the sweeps render exactly what a local run produces.
-func remoteRunner(base string) func(tlc.Design, string, tlc.Options) (tlc.Result, error) {
+// remoteGrid executes grids on a tlcd server or fleet coordinator: one
+// streaming sweep request per grid, NDJSON points filling result slots by
+// index as they complete. Identical configurations coalesce and cache
+// server-side; records embed the complete tlc.Result, so the sweeps render
+// exactly what a local run produces.
+func remoteGrid(base string) func([]runSpec) ([]tlc.Result, error) {
 	c := client.New(base, &http.Client{})
 	if err := c.Health(context.Background()); err != nil {
 		log.Fatalf("tlcsweep: -remote %s: %v", base, err)
 	}
-	return func(d tlc.Design, bench string, opt tlc.Options) (tlc.Result, error) {
-		return c.Result(context.Background(), d, bench, opt)
+	return func(specs []runSpec) ([]tlc.Result, error) {
+		sreq := api.SweepRequest{Points: make([]api.RunRequest, len(specs))}
+		for i, s := range specs {
+			sreq.Points[i] = api.RunRequest{
+				Design:    s.design.String(),
+				Benchmark: s.bench,
+				Options:   api.FromOptions(s.opt),
+			}
+		}
+		results := make([]tlc.Result, len(specs))
+		got := 0
+		err := c.Sweep(context.Background(), sreq, func(p api.SweepPoint) error {
+			if p.Index < 0 || p.Index >= len(specs) {
+				return fmt.Errorf("sweep point index %d outside grid of %d", p.Index, len(specs))
+			}
+			s := specs[p.Index]
+			if p.Error != "" {
+				return fmt.Errorf("sweep point %s/%s: %s", s.design, s.bench, p.Error)
+			}
+			res, err := p.Record.ToResult()
+			if err != nil {
+				return fmt.Errorf("sweep point %s/%s: %w", s.design, s.bench, err)
+			}
+			results[p.Index] = res
+			got++
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if got != len(specs) {
+			return nil, fmt.Errorf("sweep stream ended after %d of %d points", got, len(specs))
+		}
+		return results, nil
 	}
 }
 
@@ -166,32 +223,26 @@ func memorySweep(bench string) {
 	drOpt := flatOpt
 	drOpt.UseDRAM = true
 
-	// Both memory models' grids fill concurrently; the table renders
+	// Both memory models' rows fill from one grid; the table renders
 	// serially from the result slots.
-	type cell struct {
-		res tlc.Result
-		err error
-	}
-	cells := make([]cell, 2*len(designs))
-	grid(len(cells), func(i int) {
+	specs := make([]runSpec, 0, 2*len(designs))
+	for i := 0; i < 2*len(designs); i++ {
 		opt := flatOpt
 		if i >= len(designs) {
 			opt = drOpt
 		}
-		res, err := runResult(designs[i%len(designs)], bench, opt)
-		cells[i] = cell{res, err}
-	})
-	for _, c := range cells {
-		if c.err != nil {
-			log.Fatal(c.err)
-		}
+		specs = append(specs, runSpec{designs[i%len(designs)], bench, opt})
+	}
+	results, err := runGrid(specs)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	t := report.NewTable(fmt.Sprintf("Memory-model sensitivity (%s)", bench),
 		"Design", "Flat 300 (cycles)", "Banked DRAM (cycles)", "Ratio")
 	for i, d := range designs {
-		fr := cells[i].res
-		br := cells[i+len(designs)].res
+		fr := results[i]
+		br := results[i+len(designs)]
 		t.AddRow(d.String(), float64(fr.Cycles), float64(br.Cycles),
 			float64(br.Cycles)/float64(fr.Cycles))
 	}
@@ -211,18 +262,17 @@ func seedSweep(bench string) {
 	// -remote); the timed stream reseeds per run. Per-seed results are
 	// summarized with tlc.SummarizeSeeds in seed order, so the statistics
 	// match RunSeeds bit for bit.
-	type cell struct {
-		res tlc.Result
-		err error
-	}
-	cells := make([]cell, len(designs)*len(seeds))
-	grid(len(cells), func(i int) {
+	specs := make([]runSpec, 0, len(designs)*len(seeds))
+	for i := 0; i < len(designs)*len(seeds); i++ {
 		opt := sweepOptions()
 		opt.WarmSeed = seeds[0]
 		opt.Seed = seeds[i%len(seeds)]
-		res, err := runResult(designs[i/len(seeds)], bench, opt)
-		cells[i] = cell{res, err}
-	})
+		specs = append(specs, runSpec{designs[i/len(seeds)], bench, opt})
+	}
+	results, err := runGrid(specs)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	t := report.NewTable(fmt.Sprintf("Seed robustness over %v (%s)", seeds, bench),
 		"Design", "Cycles mean", "Cycles spread", "Lookup mean", "Lookup spread")
@@ -230,12 +280,9 @@ func seedSweep(bench string) {
 		cs := make([]float64, len(seeds))
 		ls := make([]float64, len(seeds))
 		for j := range seeds {
-			c := cells[i*len(seeds)+j]
-			if c.err != nil {
-				log.Fatal(c.err)
-			}
-			cs[j] = float64(c.res.Cycles)
-			ls[j] = c.res.MeanLookup
+			res := results[i*len(seeds)+j]
+			cs[j] = float64(res.Cycles)
+			ls[j] = res.MeanLookup
 		}
 		cyc, lookup := tlc.SummarizeSeeds(cs), tlc.SummarizeSeeds(ls)
 		t.AddRow(d.String(), cyc.Mean, fmt.Sprintf("%.2f%%", cyc.Spread()*100),

@@ -39,6 +39,11 @@ type Client struct {
 	// guaranteed 429s. Bound total waiting with the request context instead.
 	Backoff    time.Duration
 	MaxBackoff time.Duration
+	// RetryStatus, when non-nil, overrides the default retryable-status
+	// predicate. The fleet coordinator uses it to fail over immediately on
+	// 503 (a draining worker stays 503 until it exits — retrying it is
+	// wasted time) while still honoring 429 backpressure from a busy one.
+	RetryStatus func(status int) bool
 }
 
 // New builds a client for the server at base (e.g. "http://127.0.0.1:8080").
@@ -77,6 +82,28 @@ func retryable(status int) bool {
 		return true
 	}
 	return false
+}
+
+// parseRetryAfter resolves a Retry-After header in either RFC 9110 form:
+// delay-seconds ("120") or an HTTP-date ("Fri, 31 Dec 1999 23:59:59 GMT").
+// Non-positive delays — a date already past, or "0" — report false, so the
+// caller falls back to exponential backoff rather than spinning.
+func parseRetryAfter(ra string) (time.Duration, bool) {
+	if ra == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(ra); err == nil {
+		if secs <= 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(ra); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d, true
+		}
+	}
+	return 0, false
 }
 
 // do issues one request with the retry/backoff policy and decodes a 2xx
@@ -127,16 +154,18 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 					apiErr.Error = strings.TrimSpace(string(data))
 				}
 				serr := &StatusError{Status: resp.StatusCode, Msg: apiErr.Error}
-				if !retryable(resp.StatusCode) {
+				retry := c.RetryStatus
+				if retry == nil {
+					retry = retryable
+				}
+				if !retry(resp.StatusCode) {
 					return serr
 				}
 				lastErr = serr
 				wait = backoff
-				if ra := resp.Header.Get("Retry-After"); ra != "" {
-					if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 {
-						wait = time.Duration(secs) * time.Second
-						fromRetryAfter = true
-					}
+				if d, ok := parseRetryAfter(resp.Header.Get("Retry-After")); ok {
+					wait = d
+					fromRetryAfter = true
 				}
 			}
 		}
@@ -175,6 +204,95 @@ func (c *Client) Run(ctx context.Context, req api.RunRequest) (api.RunRecord, er
 		return api.RunRecord{}, err
 	}
 	return rec, nil
+}
+
+// RunBlocking is Run with server-side blocking admission (?block=1): a
+// full queue parks the run behind the backlog instead of answering 429.
+// The fleet coordinator uses it for sweep grid fills, where backpressure
+// should queue — mirroring how a single server's own figure and sweep
+// handlers enqueue internally.
+func (c *Client) RunBlocking(ctx context.Context, req api.RunRequest) (api.RunRecord, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return api.RunRecord{}, err
+	}
+	var rec api.RunRecord
+	if err := c.do(ctx, http.MethodPost, "/v1/runs?block=1", body, &rec); err != nil {
+		return api.RunRecord{}, err
+	}
+	return rec, nil
+}
+
+// Sweep streams a grid through POST /v1/sweeps: one request, NDJSON back,
+// fn called once per completed point in completion order (Index joins a
+// point to the request). A non-nil fn error abandons the stream.
+//
+// The stream is not retried: a sweep is not an idempotent replayable body
+// once points have been consumed, and against a fleet coordinator the
+// failover happens server-side per point. A torn connection surfaces as an
+// error; the caller re-issues the sweep, and the fleet's result caches
+// make the replay cheap.
+func (c *Client) Sweep(ctx context.Context, sreq api.SweepRequest, fn func(api.SweepPoint) error) error {
+	body, err := json.Marshal(sreq)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sweeps", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		var apiErr api.Error
+		json.Unmarshal(data, &apiErr)
+		if apiErr.Error == "" {
+			apiErr.Error = strings.TrimSpace(string(data))
+		}
+		return &StatusError{Status: resp.StatusCode, Msg: apiErr.Error}
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var p api.SweepPoint
+		if err := dec.Decode(&p); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("client: sweep stream: %w", err)
+		}
+		if err := fn(p); err != nil {
+			return err
+		}
+	}
+}
+
+// RegisterWorker announces a worker to a fleet coordinator (idempotent
+// upsert, doubling as a heartbeat) and returns the coordinator's current
+// membership view, so one round-trip also refreshes the caller's ring.
+func (c *Client) RegisterWorker(ctx context.Context, baseURL string) (api.FleetState, error) {
+	body, err := json.Marshal(api.RegisterRequest{BaseURL: baseURL})
+	if err != nil {
+		return api.FleetState{}, err
+	}
+	var state api.FleetState
+	if err := c.do(ctx, http.MethodPost, "/v1/workers", body, &state); err != nil {
+		return api.FleetState{}, err
+	}
+	return state, nil
+}
+
+// Workers fetches a fleet coordinator's membership view.
+func (c *Client) Workers(ctx context.Context) (api.FleetState, error) {
+	var state api.FleetState
+	if err := c.do(ctx, http.MethodGet, "/v1/workers", nil, &state); err != nil {
+		return api.FleetState{}, err
+	}
+	return state, nil
 }
 
 // Result is Run reduced to the tlc.Result an in-process run would return.

@@ -1,0 +1,157 @@
+package fleet
+
+import (
+	"context"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"tlc/internal/api"
+	"tlc/internal/client"
+)
+
+// Member is a worker's view of the fleet. It registers the worker with the
+// coordinator on a loop (registration doubles as the heartbeat) and keeps
+// a local copy of the ring built from the membership each registration
+// returns, which is all PeerFill needs: on a local cache miss, the worker
+// asks the key's owner-before-it-joined for the finished record before
+// simulating. The view ring includes every *alive* member — draining
+// workers answer 503 on /readyz but their caches still serve GETs, and a
+// key's history lives where it used to be routed, not where it would be
+// routed now.
+type Member struct {
+	self     string
+	interval time.Duration
+	replicas int
+	coord    *client.Client
+	hc       *http.Client
+
+	mu      sync.Mutex
+	ring    *Ring
+	clients map[string]*client.Client
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// peerFillTimeout bounds one peer cache lookup. A peer fill is an
+// optimization over re-simulating; a peer slower than this is worse than
+// the miss.
+const peerFillTimeout = 5 * time.Second
+
+// Join starts a membership loop against the coordinator at coordBase,
+// registering self (the worker's advertised base URL) every interval.
+// Call Close before discarding the member. replicas must match the
+// coordinator's ring configuration (0 means the shared default).
+func Join(coordBase, self string, interval time.Duration, replicas int) *Member {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	hc := &http.Client{}
+	coord := client.New(coordBase, hc)
+	coord.Retries = 2
+	coord.Backoff = 100 * time.Millisecond
+	m := &Member{
+		self:     self,
+		interval: interval,
+		replicas: replicas,
+		coord:    coord,
+		hc:       hc,
+		ring:     NewRing(replicas),
+		clients:  make(map[string]*client.Client),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	m.registerOnce()
+	go m.loop()
+	return m
+}
+
+// Close stops the membership loop.
+func (m *Member) Close() {
+	close(m.stop)
+	<-m.done
+}
+
+func (m *Member) loop() {
+	defer close(m.done)
+	tick := time.NewTicker(m.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-tick.C:
+			m.registerOnce()
+		}
+	}
+}
+
+// registerOnce sends one registration heartbeat and refreshes the local
+// ring from the returned membership. A coordinator outage degrades
+// gracefully: the stale ring keeps peer fills flowing between workers
+// that are still up, and misses fall back to local simulation anyway.
+func (m *Member) registerOnce() {
+	ctx, cancel := context.WithTimeout(context.Background(), peerFillTimeout)
+	defer cancel()
+	state, err := m.coord.RegisterWorker(ctx, m.self)
+	if err != nil {
+		log.Printf("fleet: registration heartbeat failed (keeping previous fleet view): %v", err)
+		return
+	}
+	r := NewRing(m.replicas)
+	for _, w := range state.Workers {
+		if w.Alive {
+			r.Add(w.BaseURL)
+		}
+	}
+	m.mu.Lock()
+	m.ring = r
+	m.mu.Unlock()
+}
+
+// Peers lists the alive fleet members in the current view, self included.
+func (m *Member) Peers() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ring.Nodes()
+}
+
+// peerClient builds (or reuses) the client for one peer. Peer-fill clients
+// never retry: the fallback — simulate locally — is always available, so a
+// dead owner should cost one failed connect, not a backoff schedule.
+func (m *Member) peerClient(base string) *client.Client {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cl, ok := m.clients[base]; ok {
+		return cl
+	}
+	cl := client.New(base, m.hc)
+	cl.Retries = 0
+	m.clients[base] = cl
+	return cl
+}
+
+// PeerFill implements server.Config.PeerFill: given a run key this worker
+// is about to execute, ask the worker that owned the key before self was
+// part of the ring whether it already has the record. The lookup is a pure
+// cache GET — it can never trigger a simulation on the peer, so there is
+// no recursion and no added load beyond one round-trip. Any failure (no
+// peer, owner down, record not there) reports a miss and the caller
+// simulates locally; determinism makes the two outcomes byte-identical.
+func (m *Member) PeerFill(ctx context.Context, key string) (api.RunRecord, bool) {
+	m.mu.Lock()
+	owner, ok := m.ring.OwnerExcluding(key, m.self)
+	m.mu.Unlock()
+	if !ok || owner == m.self {
+		return api.RunRecord{}, false
+	}
+	cctx, cancel := context.WithTimeout(ctx, peerFillTimeout)
+	defer cancel()
+	rec, found, err := m.peerClient(owner).GetRun(cctx, key)
+	if err != nil || !found {
+		return api.RunRecord{}, false
+	}
+	return rec, true
+}

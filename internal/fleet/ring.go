@@ -1,0 +1,173 @@
+// Package fleet shards the tlcd experiment service across N workers.
+//
+// The shape follows the cache-network argument from the roadmap: run IDs
+// are content addresses (tlc.RunKey is known before execution) and results
+// are immutable, so a fleet of tlcd workers *is* a network of caches —
+// every demand should be routed to the node where the result most likely
+// already lives instead of recomputed wherever a load balancer happens to
+// land it. Three pieces implement that:
+//
+//   - Ring: a consistent-hash ring mapping run keys to workers, so a
+//     membership change remaps only ~1/N of the key space;
+//   - Coordinator: the routing front end — workers register with it, it
+//     health-checks them (liveness via /healthz, readiness via /readyz)
+//     and proxies /v1/runs and /v1/sweeps to each key's owner, failing
+//     over along the ring when an owner is down or draining;
+//   - Member: the worker-side agent — it keeps the worker registered,
+//     mirrors the membership, and serves the peer-fill hook: on a local
+//     cache miss, ask the node that owned the key before this worker
+//     joined (a pure GET /v1/runs/{key} cache lookup, never a recursive
+//     simulation) so a rebalanced ring does not re-run the world.
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// defaultReplicas is the virtual-node count per worker. 128 vnodes keep
+// the per-node key-space share within a few percent of 1/N for the fleet
+// sizes tlcd targets (single digits to low hundreds of workers).
+const defaultReplicas = 128
+
+// Ring is a consistent-hash ring over worker base URLs. Each node is
+// projected to `replicas` pseudo-random points on a 64-bit circle; a key is
+// owned by the node of the first point at or clockwise of the key's hash.
+// Adding or removing one node therefore remaps only the arcs adjacent to
+// its points — about 1/N of the key space — which is the property the
+// result-cache tier depends on: a membership change must not invalidate
+// every worker's cache.
+//
+// Ring is not safe for concurrent use; Coordinator and Member guard theirs
+// with their own mutexes.
+type Ring struct {
+	replicas int
+	nodes    map[string]struct{}
+	points   []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds an empty ring. replicas <= 0 selects the default.
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	return &Ring{replicas: replicas, nodes: make(map[string]struct{})}
+}
+
+// hash64 is FNV-1a over s: stable across processes (the coordinator and
+// every member must agree on ownership without coordination).
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Add inserts a node (idempotent).
+func (r *Ring) Add(node string) {
+	if _, ok := r.nodes[node]; ok {
+		return
+	}
+	r.nodes[node] = struct{}{}
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{hash64(node + "#" + strconv.Itoa(i)), node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a node (idempotent).
+func (r *Ring) Remove(node string) {
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Len reports the node count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes lists the members, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// start returns the index of the first ring point at or clockwise of key's
+// hash (wrapping past the top of the circle).
+func (r *Ring) start(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Owner returns the node owning key; ok is false on an empty ring.
+func (r *Ring) Owner(key string) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	return r.points[r.start(key)].node, true
+}
+
+// Successors returns up to n distinct nodes in ring order starting at
+// key's owner — the failover sequence for that key. n <= 0 or n beyond the
+// membership yields every node.
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i, looked := r.start(key), 0; looked < len(r.points) && len(out) < n; looked++ {
+		p := r.points[i]
+		if _, dup := seen[p.node]; !dup {
+			seen[p.node] = struct{}{}
+			out = append(out, p.node)
+		}
+		i++
+		if i == len(r.points) {
+			i = 0
+		}
+	}
+	return out
+}
+
+// OwnerExcluding returns the node that would own key if skip were not a
+// member — exactly where a result landed before skip joined the ring, which
+// is where a peer fill should look. ok is false when no other node exists.
+func (r *Ring) OwnerExcluding(key, skip string) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	for i, looked := r.start(key), 0; looked < len(r.points); looked++ {
+		if p := r.points[i]; p.node != skip {
+			return p.node, true
+		}
+		i++
+		if i == len(r.points) {
+			i = 0
+		}
+	}
+	return "", false
+}

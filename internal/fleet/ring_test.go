@@ -1,0 +1,197 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testKeys generates n synthetic run-key-shaped strings.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("runkey-%08x", i*2654435761)
+	}
+	return keys
+}
+
+func ringOf(nodes ...string) *Ring {
+	r := NewRing(0)
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	return r
+}
+
+func workerNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return names
+}
+
+// TestOwnerDeterministicAcrossInsertionOrder: ownership is a pure function
+// of the membership set — the coordinator and every member must agree on
+// owners without coordinating, whatever order they learned the nodes in.
+func TestOwnerDeterministicAcrossInsertionOrder(t *testing.T) {
+	nodes := workerNames(7)
+	fwd := ringOf(nodes...)
+	rev := NewRing(0)
+	for i := len(nodes) - 1; i >= 0; i-- {
+		rev.Add(nodes[i])
+	}
+	for _, k := range testKeys(2000) {
+		a, _ := fwd.Owner(k)
+		b, _ := rev.Owner(k)
+		if a != b {
+			t.Fatalf("owner of %s depends on insertion order: %s vs %s", k, a, b)
+		}
+	}
+}
+
+// TestJoinRemapsMinimally: adding a node to a 9-node ring must remap about
+// 1/10 of the keys — and every remapped key must move to the new node, so
+// no existing worker's cache territory shifts to another existing worker.
+func TestJoinRemapsMinimally(t *testing.T) {
+	nodes := workerNames(9)
+	r := ringOf(nodes...)
+	keys := testKeys(10000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k], _ = r.Owner(k)
+	}
+
+	const joined = "http://10.0.0.100:8080"
+	r.Add(joined)
+	moved := 0
+	for _, k := range keys {
+		after, _ := r.Owner(k)
+		if after == before[k] {
+			continue
+		}
+		moved++
+		if after != joined {
+			t.Fatalf("key %s moved %s -> %s, but only the joining node may gain keys", k, before[k], after)
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac == 0 {
+		t.Fatal("join remapped nothing; the new node owns no keys")
+	}
+	// Ideal share is 1/10; allow generous spread for vnode variance.
+	if frac > 0.25 {
+		t.Fatalf("join remapped %.1f%% of keys, want ~10%% (<25%%)", frac*100)
+	}
+}
+
+// TestLeaveRemapsOnlyTheLeaver: removing a node reassigns exactly the keys
+// it owned; every other key keeps its owner (those caches stay hot).
+func TestLeaveRemapsOnlyTheLeaver(t *testing.T) {
+	nodes := workerNames(8)
+	r := ringOf(nodes...)
+	keys := testKeys(10000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k], _ = r.Owner(k)
+	}
+
+	leaver := nodes[3]
+	r.Remove(leaver)
+	for _, k := range keys {
+		after, _ := r.Owner(k)
+		if before[k] == leaver {
+			if after == leaver {
+				t.Fatalf("key %s still owned by removed node", k)
+			}
+			continue
+		}
+		if after != before[k] {
+			t.Fatalf("key %s moved %s -> %s though its owner never left", k, before[k], after)
+		}
+	}
+}
+
+// TestOwnerExcludingMatchesRingWithout: the peer-fill target — the owner
+// with self excluded — must be exactly the owner of the ring built without
+// self, i.e. where the result lived before self joined.
+func TestOwnerExcludingMatchesRingWithout(t *testing.T) {
+	nodes := workerNames(5)
+	full := ringOf(nodes...)
+	self := nodes[2]
+	without := NewRing(0)
+	for _, n := range nodes {
+		if n != self {
+			without.Add(n)
+		}
+	}
+	for _, k := range testKeys(3000) {
+		got, ok := full.OwnerExcluding(k, self)
+		want, _ := without.Owner(k)
+		if !ok || got != want {
+			t.Fatalf("OwnerExcluding(%s, self) = %s ok=%v, want %s", k, got, ok, want)
+		}
+	}
+	// A single-node ring has no peer to fill from.
+	if _, ok := ringOf(self).OwnerExcluding("k", self); ok {
+		t.Fatal("OwnerExcluding on a one-node ring reported a peer")
+	}
+}
+
+// TestSuccessorsDistinctAndStartAtOwner: the failover sequence leads with
+// the owner, never repeats a node, and covers the whole membership.
+func TestSuccessorsDistinctAndStartAtOwner(t *testing.T) {
+	nodes := workerNames(6)
+	r := ringOf(nodes...)
+	for _, k := range testKeys(500) {
+		succ := r.Successors(k, 0)
+		if len(succ) != len(nodes) {
+			t.Fatalf("Successors covered %d of %d nodes", len(succ), len(nodes))
+		}
+		owner, _ := r.Owner(k)
+		if succ[0] != owner {
+			t.Fatalf("Successors[0] = %s, want owner %s", succ[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, n := range succ {
+			if seen[n] {
+				t.Fatalf("Successors repeated %s", n)
+			}
+			seen[n] = true
+		}
+	}
+	if got := r.Successors("k", 2); len(got) != 2 {
+		t.Fatalf("Successors(k, 2) returned %d nodes", len(got))
+	}
+}
+
+// TestBalance: with the default vnode count no node's share of a 10-node
+// ring is pathologically far from 1/10.
+func TestBalance(t *testing.T) {
+	nodes := workerNames(10)
+	r := ringOf(nodes...)
+	counts := map[string]int{}
+	keys := testKeys(20000)
+	for _, k := range keys {
+		o, _ := r.Owner(k)
+		counts[o]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / float64(len(keys))
+		if share < 0.02 || share > 0.25 {
+			t.Errorf("node %s owns %.1f%% of keys, want roughly 10%%", n, share*100)
+		}
+	}
+}
+
+// TestEmptyRing: lookups on an empty ring report no owner instead of
+// panicking.
+func TestEmptyRing(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Owner("k"); ok {
+		t.Fatal("empty ring reported an owner")
+	}
+	if s := r.Successors("k", 3); len(s) != 0 {
+		t.Fatalf("empty ring reported successors %v", s)
+	}
+	r.Remove("absent") // must not panic
+}

@@ -1,0 +1,172 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tlc"
+	"tlc/internal/api"
+	"tlc/internal/client"
+	"tlc/internal/fleet"
+)
+
+// These tests wire real Servers (stub execution) into a fleet.Coordinator
+// and fleet.Members — the full fleet path minus the simulator. They live in
+// package server to reach Config.execute and the server's counters.
+
+// newFleetWorker builds a Server whose executions are counted, serves it
+// over HTTP, and returns both plus the execution counter. peerFill, when
+// non-nil, is installed as Config.PeerFill.
+func newFleetWorker(t *testing.T, peerFill *atomic.Pointer[fleet.Member]) (*Server, *httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var executed atomic.Int64
+	cfg := Config{
+		Workers: 2,
+		execute: func(ctx context.Context, d tlc.Design, bench string, opt tlc.Options) (api.RunRecord, error) {
+			executed.Add(1)
+			return stubRecord(d, bench), nil
+		},
+	}
+	if peerFill != nil {
+		cfg.PeerFill = func(ctx context.Context, key string) (api.RunRecord, bool) {
+			m := peerFill.Load()
+			if m == nil {
+				return api.RunRecord{}, false
+			}
+			return m.PeerFill(ctx, key)
+		}
+	}
+	s, hs := newTestServer(t, cfg)
+	return s, hs, &executed
+}
+
+// TestFleetPeerFillAcrossJoin is the cache-network property end to end:
+// run a grid through a one-worker fleet, join a second worker, run the
+// identical grid again — nothing re-executes. Keys the ring remaps to the
+// joiner are pulled sideways from their former owner (peer fill); keys
+// that stay put hit the local cache.
+func TestFleetPeerFillAcrossJoin(t *testing.T) {
+	coord := fleet.NewCoordinator(fleet.Config{HealthInterval: time.Hour})
+	chs := httptest.NewServer(coord.Handler())
+	t.Cleanup(func() {
+		chs.Close()
+		coord.Close()
+	})
+	ccl := client.New(chs.URL, nil)
+
+	_, hsA, executedA := newFleetWorker(t, nil)
+	if _, err := ccl.RegisterWorker(context.Background(), hsA.URL); err != nil {
+		t.Fatalf("register A: %v", err)
+	}
+
+	grid := make([]api.RunRequest, 0, 24)
+	for _, bench := range tlc.Benchmarks() {
+		for _, design := range []string{"TLC", "DNUCA"} {
+			grid = append(grid, api.RunRequest{Design: design, Benchmark: bench})
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	first := make(map[string]api.RunRecord, len(grid))
+	for _, req := range grid {
+		rec, err := ccl.Run(ctx, req)
+		if err != nil {
+			t.Fatalf("cold %s/%s: %v", req.Design, req.Benchmark, err)
+		}
+		first[rec.ID] = rec
+	}
+	if n := executedA.Load(); n != int64(len(grid)) {
+		t.Fatalf("cold pass executed %d runs on A, want %d", n, len(grid))
+	}
+
+	// Worker B joins: its member view (via the registration response) now
+	// holds A and B, so B's PeerFill knows each remapped key's former owner.
+	var memberB atomic.Pointer[fleet.Member]
+	sB, hsB, executedB := newFleetWorker(t, &memberB)
+	mb := fleet.Join(chs.URL, hsB.URL, time.Hour, 0)
+	t.Cleanup(mb.Close)
+	memberB.Store(mb)
+	if peers := mb.Peers(); len(peers) != 2 {
+		t.Fatalf("member view after join: %v, want both workers", peers)
+	}
+
+	for _, req := range grid {
+		rec, err := ccl.Run(ctx, req)
+		if err != nil {
+			t.Fatalf("warm %s/%s: %v", req.Design, req.Benchmark, err)
+		}
+		if !rec.Cached && !rec.PeerFilled {
+			t.Fatalf("warm %s/%s: neither cached nor peer-filled", req.Design, req.Benchmark)
+		}
+		prev := first[rec.ID]
+		if rec.Cycles != prev.Cycles || rec.Design != prev.Design || rec.Benchmark != prev.Benchmark {
+			t.Fatalf("warm %s/%s: record diverged from cold pass", req.Design, req.Benchmark)
+		}
+	}
+	if n := executedA.Load(); n != int64(len(grid)) {
+		t.Fatalf("warm pass re-executed on A: %d, want %d", n, len(grid))
+	}
+	if n := executedB.Load(); n != 0 {
+		t.Fatalf("warm pass executed %d runs on B, want 0 (peer fill)", n)
+	}
+	// With 24 keys and ~half the ring remapping to B, at least one peer
+	// fill is a statistical certainty (P(none) ≈ 2^-24).
+	if fills := sB.nPeerFills.Load(); fills == 0 {
+		t.Fatal("no peer fills recorded on the joining worker")
+	}
+}
+
+// TestFleetPeerFillFallsBackWhenOwnerDown: the satellite requirement — a
+// worker whose peer-fill target is dead must still answer by simulating
+// locally; peer fill is an optimization, never a dependency.
+func TestFleetPeerFillFallsBackWhenOwnerDown(t *testing.T) {
+	coord := fleet.NewCoordinator(fleet.Config{HealthInterval: time.Hour})
+	chs := httptest.NewServer(coord.Handler())
+	t.Cleanup(func() {
+		chs.Close()
+		coord.Close()
+	})
+	ccl := client.New(chs.URL, nil)
+
+	// A worker that registered and died without ever being probed: its URL
+	// refuses connections but the fleet view still lists it alive.
+	deadHS := httptest.NewServer(nil)
+	deadURL := deadHS.URL
+	deadHS.Close()
+	if _, err := ccl.RegisterWorker(context.Background(), deadURL); err != nil {
+		t.Fatalf("register dead worker: %v", err)
+	}
+
+	var memberB atomic.Pointer[fleet.Member]
+	sB, hsB, executedB := newFleetWorker(t, &memberB)
+	mb := fleet.Join(chs.URL, hsB.URL, time.Hour, 0)
+	t.Cleanup(mb.Close)
+	memberB.Store(mb)
+	if peers := mb.Peers(); len(peers) != 2 {
+		t.Fatalf("member view: %v, want dead worker and self", peers)
+	}
+
+	// On a two-node ring, OwnerExcluding(key, self) is always the dead
+	// worker: every peer fill must fail over to local execution.
+	req := api.RunRequest{Design: "TLC", Benchmark: "gcc"}
+	cl := client.New(hsB.URL, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rec, err := cl.Run(ctx, req)
+	if err != nil {
+		t.Fatalf("run with dead peer-fill target: %v", err)
+	}
+	if rec.PeerFilled {
+		t.Fatal("record claims a peer fill from a dead worker")
+	}
+	if n := executedB.Load(); n != 1 {
+		t.Fatalf("executed %d runs locally, want 1", n)
+	}
+	if misses := sB.nPeerMisses.Load(); misses != 1 {
+		t.Fatalf("peer-fill misses = %d, want 1", misses)
+	}
+}

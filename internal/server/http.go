@@ -18,17 +18,22 @@ import (
 
 // Handler returns the service's HTTP interface:
 //
-//	POST /v1/runs            run (or fetch) one configuration
+//	POST /v1/runs            run (or fetch) one configuration (?block=1
+//	                         queues behind a full pool instead of 429)
 //	GET  /v1/runs/{id}       look up a completed run by content address
+//	POST /v1/sweeps          run a grid, streamed back as NDJSON
 //	GET  /v1/figures/{fig}   render a paper table/figure (text/plain)
-//	GET  /healthz            liveness (503 while draining)
+//	GET  /healthz            liveness (200 for the process lifetime)
+//	GET  /readyz             readiness (503 while draining)
 //	GET  /metricz            the server's own counters, as JSON
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handleRun)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
 	mux.HandleFunc("GET /v1/figures/{fig}", s.handleFigure)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metricz", s.handleMetrics)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.nHTTP.Add(1)
@@ -71,7 +76,10 @@ func writeError(w http.ResponseWriter, e *httpError) {
 }
 
 // handleRun is POST /v1/runs: decode, bound by the request deadline, and
-// submit through cache → coalesce → queue.
+// submit through cache → coalesce → queue. ?block=1 turns a full queue
+// into a ctx-bounded blocking enqueue instead of a 429 — the fleet
+// coordinator uses it when dispatching sweep grid points, mirroring how a
+// single server's own figure/sweep handlers enqueue internally.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req api.RunRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -86,12 +94,69 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	rec, herr := s.submit(ctx, req, false)
+	rec, herr := s.submit(ctx, req, r.URL.Query().Get("block") == "1")
 	if herr != nil {
 		writeError(w, herr)
 		return
 	}
 	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleSweep is POST /v1/sweeps: validate the whole grid up front, then
+// stream one NDJSON api.SweepPoint per completed point, in completion
+// order. Every point flows through the ordinary submit pipeline (result
+// cache → coalescing → worker pool) with blocking admission, so a sweep of
+// any size is bounded by the pool and the queue — one request replaces the
+// client-side retry loop a large grid otherwise degenerates into. Points
+// that fail (deadline, execution error) carry their error on the line;
+// the stream itself stays 200 once opened.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var sreq api.SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&sreq); err != nil {
+		writeError(w, &httpError{status: 400, msg: "decoding sweep: " + err.Error()})
+		return
+	}
+	if err := sreq.Validate(); err != nil {
+		writeError(w, &httpError{status: 400, msg: err.Error()})
+		return
+	}
+	timeout, err := s.requestTimeout(r)
+	if err != nil {
+		writeError(w, &httpError{status: 400, msg: err.Error()})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	var (
+		wmu sync.Mutex
+		enc = json.NewEncoder(w)
+		wg  sync.WaitGroup
+	)
+	emit := func(p api.SweepPoint) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		enc.Encode(p)
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	for i, p := range sreq.Points {
+		wg.Add(1)
+		go func(i int, p api.RunRequest) {
+			defer wg.Done()
+			rec, herr := s.submit(ctx, p, true)
+			if herr != nil {
+				emit(api.SweepPoint{Index: i, Error: herr.msg})
+				return
+			}
+			emit(api.SweepPoint{Index: i, Record: &rec})
+		}(i, p)
+	}
+	wg.Wait()
 }
 
 // handleGetRun is GET /v1/runs/{id}: a pure result-cache lookup. IDs are
@@ -238,8 +303,23 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, fig.render(suite))
 }
 
-// handleHealth is GET /healthz: 200 while serving, 503 once draining.
+// handleHealth is GET /healthz: pure liveness — 200 for as long as the
+// process serves HTTP, including while draining. A draining worker is not
+// dead: its in-flight runs complete and its result cache still answers
+// peer-fill lookups. Routing eligibility is /readyz's job, so a fleet
+// coordinator can stop sending a draining worker new keys without
+// declaring it dead and reassigning its whole arc early.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+// handleReady is GET /readyz: readiness — 200 while accepting new runs,
+// 503 once draining.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return

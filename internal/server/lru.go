@@ -20,7 +20,15 @@ type lruEntry struct {
 	rec api.RunRecord
 }
 
+// newLRU builds a cache holding at least one entry. A capacity below 1
+// would make add's eviction loop remove the just-inserted record — a cache
+// that silently never holds anything — so degenerate capacities clamp to 1.
+// (server.New validates Config.CacheSize before ever reaching this; the
+// clamp is defense in depth for any other construction site.)
 func newLRU(capacity int) *lru {
+	if capacity < 1 {
+		capacity = 1
+	}
 	return &lru{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
 }
 

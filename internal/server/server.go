@@ -25,6 +25,7 @@ import (
 	"container/list"
 	"context"
 	"fmt"
+	"log"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -61,6 +62,16 @@ type Config struct {
 	// tlc.DefaultOptions.
 	BaseOptions tlc.Options
 
+	// PeerFill, when set, is consulted once per admitted flight after the
+	// local cache missed and coalescing collapsed the waiters — immediately
+	// before simulating. In a fleet, internal/fleet.Member wires it to a
+	// pure cache lookup (GET /v1/runs/{key}) on the node that owned the key
+	// before this worker joined the ring, so a rebalanced ring pulls
+	// results sideways instead of re-running the world. Returning false
+	// (peer missing, down, or also cold) falls through to local execution —
+	// peer fill is an optimization, never a dependency.
+	PeerFill func(ctx context.Context, key string) (api.RunRecord, bool)
+
 	// execute overrides run execution, for tests. The default executes
 	// through a per-options experiments.Suite.
 	execute func(ctx context.Context, d tlc.Design, bench string, opt tlc.Options) (api.RunRecord, error)
@@ -92,16 +103,24 @@ type Server struct {
 	settled chan struct{}
 	sending sync.WaitGroup
 
+	// nInFlight counts flights a worker is currently running (peer fill or
+	// execution). It feeds the Retry-After estimate: only busy workers
+	// contribute backlog, so the first 429 after a quiet period does not
+	// charge the client for a full pool of idle workers.
+	nInFlight atomic.Int64
+
 	// Counters behind /metricz; atomics so the HTTP paths never contend
 	// with the worker pool on mu for bookkeeping.
-	nRequested atomic.Uint64
-	nExecuted  atomic.Uint64
-	nCacheHits atomic.Uint64
-	nCoalesced atomic.Uint64
-	nRejected  atomic.Uint64
-	nDeadline  atomic.Uint64
-	nFailed    atomic.Uint64
-	nHTTP      atomic.Uint64
+	nRequested  atomic.Uint64
+	nExecuted   atomic.Uint64
+	nCacheHits  atomic.Uint64
+	nCoalesced  atomic.Uint64
+	nRejected   atomic.Uint64
+	nDeadline   atomic.Uint64
+	nFailed     atomic.Uint64
+	nHTTP       atomic.Uint64
+	nPeerFills  atomic.Uint64
+	nPeerMisses atomic.Uint64
 	// wallEWMA is an exponentially weighted mean of executed-run wall time
 	// in milliseconds (float64 bits), feeding the Retry-After estimate.
 	wallEWMA atomic.Uint64
@@ -131,6 +150,10 @@ type runFlight struct {
 // footprint is maxSuites full grids of Results plus metric snapshots.
 const maxSuites = 32
 
+// defaultCacheSize is the result-cache capacity when Config.CacheSize is
+// zero or invalid.
+const defaultCacheSize = 4096
+
 // New builds a server. Call Drain before discarding it.
 func New(cfg Config) *Server {
 	if cfg.Workers <= 0 {
@@ -139,8 +162,16 @@ func New(cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 4 * cfg.Workers
 	}
-	if cfg.CacheSize <= 0 {
-		cfg.CacheSize = 4096
+	// CacheSize 0 means "default" by contract; anything negative is a
+	// misconfiguration that would otherwise build a degenerate LRU (every
+	// record evicted the moment it is inserted — a silently disabled result
+	// cache). Clamp loudly instead.
+	if cfg.CacheSize < 0 {
+		log.Printf("server: invalid CacheSize %d clamped to default %d (a non-positive capacity would disable the result cache)", cfg.CacheSize, defaultCacheSize)
+		cfg.CacheSize = defaultCacheSize
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = defaultCacheSize
 	}
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 5 * time.Minute
@@ -194,7 +225,10 @@ func (s *Server) registerMetrics() {
 	s.reg.CounterFunc("server.runs.rejected", s.nRejected.Load)
 	s.reg.CounterFunc("server.runs.deadline_exceeded", s.nDeadline.Load)
 	s.reg.CounterFunc("server.runs.failed", s.nFailed.Load)
+	s.reg.CounterFunc("server.runs.peer_fills", s.nPeerFills.Load)
+	s.reg.CounterFunc("server.runs.peer_fill_misses", s.nPeerMisses.Load)
 	s.reg.CounterFunc("server.http.requests", s.nHTTP.Load)
+	s.reg.Gauge("server.runs.inflight", func(sim.Time) float64 { return float64(s.nInFlight.Load()) })
 	s.reg.Gauge("server.queue.depth", func(sim.Time) float64 { return float64(len(s.queue)) })
 	s.reg.Gauge("server.queue.capacity", func(sim.Time) float64 { return float64(cap(s.queue)) })
 	s.reg.Gauge("server.uptime_seconds", func(sim.Time) float64 { return time.Since(s.start).Seconds() })
@@ -376,8 +410,35 @@ func (s *Server) worker() {
 	}
 }
 
-// runOne executes one flight and publishes its outcome.
+// runOne executes one flight and publishes its outcome. With a PeerFill
+// hook configured (fleet worker mode), the flight first tries to pull the
+// result from the key's previous owner — a pure peer-cache lookup — and
+// only simulates when no peer has it. The hook runs here, after the local
+// cache and coalescing layers, so N concurrent requests for a remapped key
+// cost one peer round-trip, not N.
 func (s *Server) runOne(f *runFlight) {
+	s.nInFlight.Add(1)
+	defer s.nInFlight.Add(-1)
+
+	if s.cfg.PeerFill != nil && f.ctx.Err() == nil {
+		if rec, ok := s.cfg.PeerFill(f.ctx, f.key); ok {
+			s.nPeerFills.Add(1)
+			rec.ID = f.key
+			rec.Cached = false
+			rec.PeerFilled = true
+			f.rec = rec
+			s.mu.Lock()
+			s.cache.add(f.key, f.rec)
+			if s.flights[f.key] == f {
+				delete(s.flights, f.key)
+			}
+			s.mu.Unlock()
+			close(f.done)
+			return
+		}
+		s.nPeerMisses.Add(1)
+	}
+
 	start := time.Now()
 	rec, err := s.cfg.execute(f.ctx, f.design, f.bench, f.opt)
 	wall := time.Since(start)
@@ -476,14 +537,21 @@ func (s *Server) meanWallMS() float64 {
 }
 
 // retryAfterSeconds estimates when queue space will open: the backlog's
-// expected drain time across the pool, floored at one second. With no
-// executed runs yet it answers 1.
+// expected drain time across the pool, floored at one second. Backlog is
+// queued runs plus runs actually in flight — idle workers contribute
+// nothing, so the first 429 after a quiet period (queue momentarily full,
+// pool mostly idle) is not over-estimated by a full Workers × mean. With
+// no executed runs yet it answers 1.
 func (s *Server) retryAfterSeconds() int {
 	mean := s.meanWallMS()
 	if mean <= 0 {
 		return 1
 	}
-	backlog := float64(len(s.queue)+s.cfg.Workers) * mean / float64(s.cfg.Workers)
+	busy := int(s.nInFlight.Load())
+	if busy > s.cfg.Workers {
+		busy = s.cfg.Workers
+	}
+	backlog := float64(len(s.queue)+busy) * mean / float64(s.cfg.Workers)
 	secs := int(math.Ceil(backlog / 1000))
 	if secs < 1 {
 		secs = 1

@@ -408,10 +408,19 @@ func TestDrain(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
+	// Liveness and readiness split: a draining server is alive (healthz
+	// 200 — its cache still answers peer fills) but not ready (readyz 503 —
+	// a coordinator must stop routing new keys to it).
 	if resp, err := http.Get(hs.URL + "/healthz"); err == nil {
 		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("healthz while draining: status %d, want 200 (liveness, not readiness)", resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(hs.URL + "/readyz"); err == nil {
+		resp.Body.Close()
 		if resp.StatusCode != http.StatusServiceUnavailable {
-			t.Errorf("healthz while draining: status %d, want 503", resp.StatusCode)
+			t.Errorf("readyz while draining: status %d, want 503", resp.StatusCode)
 		}
 	}
 	resp, _ := postRun(t, hs.URL, api.RunRequest{Design: "TLC", Benchmark: "mcf"}, "")
@@ -627,6 +636,198 @@ func TestFigureStatic(t *testing.T) {
 			t.Errorf("unknown figure: status %d, want 404", resp.StatusCode)
 		}
 	}
+}
+
+// TestRetryAfterCountsOnlyBusyWorkers pins the idle-pool backpressure
+// estimate: with a known mean run wall time and nothing executing, the
+// estimate must not charge the client for Workers idle slots (the old
+// formula answered a full mean — here 8s — for an empty, idle server).
+func TestRetryAfterCountsOnlyBusyWorkers(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{}, 16)
+	s, hs := newTestServer(t, Config{
+		Workers: 4,
+		execute: func(ctx context.Context, d tlc.Design, bench string, opt tlc.Options) (api.RunRecord, error) {
+			started <- struct{}{}
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+			return stubRecord(d, bench), nil
+		},
+	})
+	s.observeWall(8000) // pretend runs take 8s
+
+	// Idle pool, empty queue: the wait is the floor, not Workers × mean / Workers.
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Fatalf("idle-pool Retry-After = %ds, want 1s (only busy workers contribute backlog)", got)
+	}
+
+	// Two of four workers busy: backlog = 2 × 8000ms / 4 = 4s.
+	var wg sync.WaitGroup
+	for _, bench := range []string{"gcc", "mcf"} {
+		wg.Add(1)
+		go func(bench string) {
+			defer wg.Done()
+			postRun(t, hs.URL, api.RunRequest{Design: "TLC", Benchmark: bench}, "")
+		}(bench)
+	}
+	<-started
+	<-started
+	if got := s.retryAfterSeconds(); got != 4 {
+		t.Errorf("half-busy Retry-After = %ds, want 4s (2 busy × 8s / 4 workers)", got)
+	}
+	close(block)
+	wg.Wait()
+}
+
+// TestSweepStreamsNDJSON: POST /v1/sweeps answers every grid point exactly
+// once as NDJSON, duplicate points dedupe through cache/coalescing, and an
+// empty or invalid sweep is a 400.
+func TestSweepStreamsNDJSON(t *testing.T) {
+	var executions atomic.Uint64
+	s, hs := newTestServer(t, Config{
+		Workers: 2,
+		execute: func(ctx context.Context, d tlc.Design, bench string, opt tlc.Options) (api.RunRecord, error) {
+			executions.Add(1)
+			return stubRecord(d, bench), nil
+		},
+	})
+
+	sreq := api.SweepRequest{Points: []api.RunRequest{
+		{Design: "TLC", Benchmark: "gcc"},
+		{Design: "TLC", Benchmark: "mcf"},
+		{Design: "DNUCA", Benchmark: "gcc"},
+		{Design: "TLC", Benchmark: "gcc"}, // duplicate of point 0
+	}}
+	body, _ := json.Marshal(sreq)
+	resp, err := http.Post(hs.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("sweep Content-Type %q", ct)
+	}
+	seen := map[int]api.SweepPoint{}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var p api.SweepPoint
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("stream decode: %v", err)
+		}
+		if _, dup := seen[p.Index]; dup {
+			t.Fatalf("point %d streamed twice", p.Index)
+		}
+		seen[p.Index] = p
+	}
+	if len(seen) != len(sreq.Points) {
+		t.Fatalf("stream delivered %d points, want %d", len(seen), len(sreq.Points))
+	}
+	for i, p := range seen {
+		if p.Error != "" || p.Record == nil || p.Record.Cycles != 42 {
+			t.Errorf("point %d = %+v, want a 42-cycle record", i, p)
+		}
+	}
+	// The duplicate point must not simulate twice.
+	if got := executions.Load(); got != 3 {
+		t.Errorf("%d executions for 3 distinct points, want 3", got)
+	}
+	if got := counter(t, s, "server.runs.requested"); got != 4 {
+		t.Errorf("requested counter = %d, want 4", got)
+	}
+
+	for name, body := range map[string]string{
+		"empty":         `{"points":[]}`,
+		"invalid point": `{"points":[{"design":"NOPE","benchmark":"gcc"}]}`,
+	} {
+		resp, err := http.Post(hs.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s sweep: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestPeerFillServesWithoutExecuting: with a PeerFill hook that has the
+// record, an admitted run is answered from the peer — zero local
+// executions, the record cached locally for the next hit — and when the
+// hook misses, the run falls through to local simulation.
+func TestPeerFillServesWithoutExecuting(t *testing.T) {
+	var executions, fills atomic.Uint64
+	peerRec := api.RunRecord{Design: "TLC", Benchmark: "gcc", Cycles: 77, Cached: true}
+	s, hs := newTestServer(t, Config{
+		Workers: 1,
+		PeerFill: func(ctx context.Context, key string) (api.RunRecord, bool) {
+			fills.Add(1)
+			if key == mustKey(t, api.RunRequest{Design: "TLC", Benchmark: "gcc"}) {
+				return peerRec, true
+			}
+			return api.RunRecord{}, false
+		},
+		execute: func(ctx context.Context, d tlc.Design, bench string, opt tlc.Options) (api.RunRecord, error) {
+			executions.Add(1)
+			return stubRecord(d, bench), nil
+		},
+	})
+
+	// Peer has gcc: served via peer fill, not executed.
+	resp, data := postRun(t, hs.URL, api.RunRequest{Design: "TLC", Benchmark: "gcc"}, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("peer-filled run: status %d (%s)", resp.StatusCode, data)
+	}
+	rec := decodeRecord(t, data)
+	if !rec.PeerFilled || rec.Cached || rec.Cycles != 77 {
+		t.Fatalf("peer-filled record = %+v, want PeerFilled=true Cached=false Cycles=77", rec)
+	}
+	if executions.Load() != 0 {
+		t.Fatal("peer fill still executed locally")
+	}
+	if got := counter(t, s, "server.runs.peer_fills"); got != 1 {
+		t.Errorf("peer_fills counter = %d, want 1", got)
+	}
+
+	// Second request: the peer-filled record now lives in the local cache.
+	resp, data = postRun(t, hs.URL, api.RunRequest{Design: "TLC", Benchmark: "gcc"}, "")
+	if resp.StatusCode != http.StatusOK || !decodeRecord(t, data).Cached {
+		t.Fatalf("peer-filled record not cached locally: status %d (%s)", resp.StatusCode, data)
+	}
+	if fills.Load() != 1 {
+		t.Fatalf("local cache hit consulted the peer again (%d fills)", fills.Load())
+	}
+
+	// Peer misses mcf: simulate locally.
+	resp, data = postRun(t, hs.URL, api.RunRequest{Design: "TLC", Benchmark: "mcf"}, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("peer-miss run: status %d (%s)", resp.StatusCode, data)
+	}
+	if rec := decodeRecord(t, data); rec.PeerFilled || rec.Cycles != 42 {
+		t.Fatalf("peer-miss record = %+v, want locally executed stub", rec)
+	}
+	if executions.Load() != 1 {
+		t.Fatalf("%d local executions after peer miss, want 1", executions.Load())
+	}
+	if got := counter(t, s, "server.runs.peer_fill_misses"); got != 1 {
+		t.Errorf("peer_fill_misses counter = %d, want 1", got)
+	}
+}
+
+// mustKey resolves a request's content address.
+func mustKey(t *testing.T, req api.RunRequest) string {
+	t.Helper()
+	key, err := req.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
 }
 
 // TestMetricz: the server's own counters are served as a sorted snapshot.

@@ -1,0 +1,147 @@
+#!/usr/bin/env bash
+# End-to-end exercise of the fleet-sharded tlcd, as run by the CI fleet-e2e
+# job (and runnable locally: scripts/fleet_e2e.sh).
+#
+# Topology: one coordinator, three workers joined to it, every process on a
+# kernel-chosen free port. Asserts:
+#   1. all three workers register and turn ready
+#   2. a cold fleet sweep (tlcsweep -remote <coordinator>) is byte-identical
+#      to the same sweep run locally — sharding must not change one byte
+#   3. re-running the sweep executes NOTHING (fleet-wide result caches serve
+#      every point; asserted via each worker's /metricz)
+#   4. SIGTERMing a worker mid-sweep does not fail the sweep: the coordinator
+#      routes around the drained worker and output is still byte-identical
+#   5. the killed worker drains cleanly (readyz 503s while healthz stays 200,
+#      in-flight runs finish, "drained cleanly" in its log)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+
+fail() { echo "fleet_e2e: FAIL: $*" >&2; exit 1; }
+
+cleanup() {
+    for pid in "${pids[@]:-}"; do
+        [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -rf "$workdir"
+}
+pids=()
+trap cleanup EXIT
+
+# wait_addr <logfile> <pid>: scrape the "listening on <host:port>" line a
+# tlcd started with -addr 127.0.0.1:0 prints once its port is bound.
+wait_addr() {
+    local logfile=$1 pid=$2 a=
+    for i in $(seq 1 50); do
+        a=$(grep -m1 -oE 'listening on [0-9.:]+' "$logfile" 2>/dev/null | awk '{print $3}' || true)
+        [ -n "$a" ] && { echo "$a"; return 0; }
+        kill -0 "$pid" 2>/dev/null || { cat "$logfile" >&2; return 1; }
+        sleep 0.2
+    done
+    return 1
+}
+
+# metric <base> <name>: read one integer counter from a node's /metricz.
+metric() {
+    curl -sf "$1/metricz" | tr -d ' \n' \
+        | grep -o "\"name\":\"$2\",\"kind\":\"counter\",\"value\":[0-9]*" \
+        | grep -o '[0-9]*$'
+}
+
+# executed_total: sum of server.runs.executed across all live workers.
+executed_total() {
+    local total=0 base
+    for base in "$@"; do
+        total=$(( total + $(metric "$base" server.runs.executed) ))
+    done
+    echo "$total"
+}
+
+echo "== build"
+go build -o "$workdir/tlcd" ./cmd/tlcd
+go build -o "$workdir/tlcsweep" ./cmd/tlcsweep
+
+echo "== single-node baselines"
+# Local tlcsweep output IS the single-node baseline: the service-e2e job
+# already asserts local == one-server output, so fleet == local closes the
+# chain fleet == single-node.
+"$workdir/tlcsweep" -quick -bench perl > "$workdir/base_perl.txt"
+"$workdir/tlcsweep" -quick -bench gcc  > "$workdir/base_gcc.txt"
+
+echo "== start coordinator + 3 workers"
+"$workdir/tlcd" -coordinator -addr 127.0.0.1:0 -heartbeat 500ms \
+    > "$workdir/coord.log" 2>&1 &
+coord_pid=$!; pids+=("$coord_pid")
+coord_addr=$(wait_addr "$workdir/coord.log" "$coord_pid") || fail "coordinator never reported its address"
+coord="http://$coord_addr"
+
+worker_bases=()
+worker_pids=()
+for i in 1 2 3; do
+    "$workdir/tlcd" -addr 127.0.0.1:0 -join "$coord" -heartbeat 500ms \
+        -workers 2 -quick > "$workdir/worker$i.log" 2>&1 &
+    wpid=$!; pids+=("$wpid"); worker_pids+=("$wpid")
+    waddr=$(wait_addr "$workdir/worker$i.log" "$wpid") || fail "worker $i never reported its address"
+    worker_bases+=("http://$waddr")
+done
+
+ready=0
+for i in $(seq 1 50); do
+    ready=$( (curl -sf "$coord/v1/workers" || true) | tr -d ' \n' | { grep -o '"ready":true' || true; } | wc -l)
+    [ "$ready" -eq 3 ] && break
+    sleep 0.2
+done
+[ "$ready" -eq 3 ] || fail "only $ready of 3 workers turned ready"
+curl -sf "$coord/readyz" > /dev/null || fail "coordinator readyz not ok with ready workers"
+
+echo "== cold fleet sweep is byte-identical to single-node"
+"$workdir/tlcsweep" -quick -bench perl -remote "$coord" > "$workdir/fleet_perl.txt"
+cmp "$workdir/base_perl.txt" "$workdir/fleet_perl.txt" \
+    || fail "fleet sweep output diverged from single-node"
+routed=$(metric "$coord" fleet.runs.routed)
+[ "$routed" -ge 1 ] || fail "coordinator routed no runs"
+
+echo "== warm refetch executes nothing fleet-wide"
+executed_cold=$(executed_total "${worker_bases[@]}")
+[ "$executed_cold" -ge 1 ] || fail "no executions counted after cold sweep"
+"$workdir/tlcsweep" -quick -bench perl -remote "$coord" > "$workdir/fleet_perl2.txt"
+cmp "$workdir/base_perl.txt" "$workdir/fleet_perl2.txt" \
+    || fail "warm fleet sweep output diverged"
+executed_warm=$(executed_total "${worker_bases[@]}")
+[ "$executed_warm" -eq "$executed_cold" ] \
+    || fail "warm refetch re-executed $(( executed_warm - executed_cold )) runs, want 0 (owner caches must serve)"
+hits=0
+for base in "${worker_bases[@]}"; do
+    hits=$(( hits + $(metric "$base" server.runs.cache_hits) ))
+done
+[ "$hits" -ge 1 ] || fail "no cache hits recorded on any worker during warm refetch"
+
+echo "== SIGTERM one worker mid-sweep; sweep must still complete identically"
+( sleep 1; kill -TERM "${worker_pids[2]}" 2>/dev/null || true ) &
+killer=$!
+"$workdir/tlcsweep" -quick -bench gcc -remote "$coord" > "$workdir/fleet_gcc.txt" \
+    || fail "fleet sweep failed while a worker drained"
+wait "$killer" 2>/dev/null || true
+cmp "$workdir/base_gcc.txt" "$workdir/fleet_gcc.txt" \
+    || fail "fleet sweep output diverged while a worker drained"
+
+echo "== killed worker drained cleanly"
+for i in $(seq 1 100); do
+    kill -0 "${worker_pids[2]}" 2>/dev/null || break
+    sleep 0.2
+done
+if wait "${worker_pids[2]}"; then :; else
+    code=$?
+    cat "$workdir/worker3.log"
+    fail "worker exited $code on SIGTERM, want 0"
+fi
+grep -q "drained cleanly" "$workdir/worker3.log" \
+    || { cat "$workdir/worker3.log"; fail "killed worker has no clean-drain message"; }
+
+echo "== survivors still serve"
+"$workdir/tlcsweep" -quick -bench perl -remote "$coord" > "$workdir/fleet_perl3.txt"
+cmp "$workdir/base_perl.txt" "$workdir/fleet_perl3.txt" \
+    || fail "two-worker fleet output diverged"
+
+echo "fleet_e2e: PASS"

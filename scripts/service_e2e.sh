@@ -14,10 +14,22 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 workdir=$(mktemp -d)
-addr=127.0.0.1:18234
-base="http://$addr"
 
 fail() { echo "service_e2e: FAIL: $*" >&2; exit 1; }
+
+# wait_addr <logfile> <pid>: scrape the "listening on <host:port>" line a
+# tlcd started with -addr 127.0.0.1:0 prints once its kernel-chosen port is
+# bound. No fixed port means no collision with parallel CI jobs.
+wait_addr() {
+    local logfile=$1 pid=$2 a=
+    for i in $(seq 1 50); do
+        a=$(grep -m1 -oE 'listening on [0-9.:]+' "$logfile" 2>/dev/null | awk '{print $3}' || true)
+        [ -n "$a" ] && { echo "$a"; return 0; }
+        kill -0 "$pid" 2>/dev/null || { cat "$logfile" >&2; return 1; }
+        sleep 0.2
+    done
+    return 1
+}
 
 cleanup() {
     [ -n "${tlcd_pid:-}" ] && kill -9 "$tlcd_pid" 2>/dev/null || true
@@ -30,8 +42,10 @@ go build -o "$workdir/tlcd" ./cmd/tlcd
 go build -o "$workdir/tlcsweep" ./cmd/tlcsweep
 
 echo "== start tlcd"
-"$workdir/tlcd" -addr "$addr" -workers 4 -quick > "$workdir/tlcd.log" 2>&1 &
+"$workdir/tlcd" -addr 127.0.0.1:0 -workers 4 -quick > "$workdir/tlcd.log" 2>&1 &
 tlcd_pid=$!
+addr=$(wait_addr "$workdir/tlcd.log" "$tlcd_pid") || fail "tlcd never reported its listen address"
+base="http://$addr"
 
 for i in $(seq 1 50); do
     if curl -sf "$base/healthz" > /dev/null 2>&1; then break; fi
