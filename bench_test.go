@@ -15,6 +15,7 @@ import (
 
 	"tlc/internal/config"
 	"tlc/internal/cpu"
+	"tlc/internal/l2"
 	"tlc/internal/nuca"
 	"tlc/internal/sim"
 	"tlc/internal/stats"
@@ -281,6 +282,88 @@ func BenchmarkWarmThroughput(b *testing.B) {
 			}
 			if !reflect.DeepEqual(scalarL2.SnapshotState(), fastL2.SnapshotState()) {
 				b.Fatal("batched and scalar warm diverged: L2 state mismatch")
+			}
+		})
+	}
+}
+
+// BenchmarkLaneSweep is the lane-parallel acceptance gate: warming every
+// design of the grid off one shared stream (the SoA lane engine) against
+// warming each design off its own stream (the batched fast path, the best
+// per-point execution). The scalar arm pays stream generation and batching
+// once per design; the lane arm pays it once for the whole group, and its
+// 2-way kernel updates all lanes per reference. Like BenchmarkWarmThroughput
+// it doubles as a determinism smoke check: after the timed sections, every
+// lane's core, L2, and generator position must match its scalar twin bit for
+// bit, so CI's short -benchtime run fails loudly on any divergence.
+func BenchmarkLaneSweep(b *testing.B) {
+	for _, name := range []string{"bzip", "gcc"} {
+		b.Run(name, func(b *testing.B) {
+			sys := config.DefaultSystem()
+			spec, _ := workload.SpecByName(name)
+			designs := Designs()
+			const warmN = 2_000_000
+
+			type arm struct {
+				core *cpu.Core
+				l2   l2.Snapshotter
+			}
+			mk := func(d Design, gen *workload.Generator) arm {
+				inst := build(d, Options{})
+				gen.PreWarm(inst)
+				return arm{cpu.New(sys, inst), inst.(l2.Snapshotter)}
+			}
+
+			// Scalar arm: one private stream per design, batched delivery.
+			scalarGens := make([]*workload.Generator, len(designs))
+			scalarArms := make([]arm, len(designs))
+			for i, d := range designs {
+				scalarGens[i] = workload.New(spec, 1)
+				scalarArms[i] = mk(d, scalarGens[i])
+				scalarArms[i].core.Warm(scalarGens[i], warmN) // steady state before timing
+			}
+			// Lane arm: one shared stream drives every design.
+			laneGen := workload.New(spec, 1)
+			laneArms := make([]arm, len(designs))
+			laneCores := make([]*cpu.Core, len(designs))
+			for i, d := range designs {
+				laneArms[i] = mk(d, laneGen)
+				laneCores[i] = laneArms[i].core
+			}
+			lw := cpu.NewLaneWarmer(laneCores)
+			if err := lw.Warm(laneGen, warmN, nil); err != nil {
+				b.Fatal(err)
+			}
+
+			var scalarNS, laneNS time.Duration
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				for j := range scalarArms {
+					scalarArms[j].core.Warm(scalarGens[j], warmN)
+				}
+				t1 := time.Now()
+				if err := lw.Warm(laneGen, warmN, nil); err != nil {
+					b.Fatal(err)
+				}
+				scalarNS += t1.Sub(t0)
+				laneNS += time.Since(t1)
+			}
+			b.ReportMetric(float64(scalarNS)/float64(laneNS), "lane_speedup")
+			b.ReportMetric(float64(b.N)*warmN*float64(len(designs))/1e6/laneNS.Seconds(), "lane_Minstr_per_s")
+			b.ReportMetric(float64(b.N)*warmN*float64(len(designs))/1e6/scalarNS.Seconds(), "scalar_Minstr_per_s")
+
+			// Divergence check: each lane consumed the identical stream its
+			// scalar twin did, so all state must match exactly.
+			for i, d := range designs {
+				if scalarGens[i].State() != laneGen.State() {
+					b.Fatalf("%v: lane and scalar warm diverged: generator state mismatch", d)
+				}
+				if !reflect.DeepEqual(scalarArms[i].core.Snapshot(), laneArms[i].core.Snapshot()) {
+					b.Fatalf("%v: lane and scalar warm diverged: L1 state mismatch", d)
+				}
+				if !reflect.DeepEqual(scalarArms[i].l2.SnapshotState(), laneArms[i].l2.SnapshotState()) {
+					b.Fatalf("%v: lane and scalar warm diverged: L2 state mismatch", d)
+				}
 			}
 		})
 	}

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,6 +27,8 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -57,6 +60,27 @@ type document struct {
 	SimulatedRuns     uint64             `json:"simulated_runs"`
 	SimWallMS         float64            `json:"sim_wall_ms"`
 	ElapsedMS         float64            `json:"elapsed_ms"`
+	Lanes             *laneStatsJSON     `json:"lanes,omitempty"`
+}
+
+// laneStatsJSON is the lane-parallel warm phase's share of the grid (the
+// sim.lanes.* spine, aggregated): present only when the lane phase was
+// enabled, zero-valued when it ran but nothing grouped.
+type laneStatsJSON struct {
+	Groups        uint64 `json:"groups"`
+	LanesWarmed   uint64 `json:"lanes_warmed"`
+	BatchesShared uint64 `json:"batches_shared"`
+	ScalarPoints  uint64 `json:"scalar_points"`
+	// WarmWallMS is the summed wall-clock of the shared warm passes. The
+	// runs restore instead of warming, so the artifact's total simulation
+	// cost is sim_wall_ms + warm_wall_ms — the figure to hold against a
+	// scalar artifact's sim_wall_ms.
+	WarmWallMS float64 `json:"warm_wall_ms"`
+	// BenchSpeedups carries BenchmarkLaneSweep's measured lane-vs-scalar
+	// warm speedup per calibration workload, parsed from a go-test log via
+	// -lane-bench-log: the kernel-level number the sweep-level wall ratio
+	// dilutes with the timed phase and the per-design L2 installs.
+	BenchSpeedups map[string]float64 `json:"bench_speedup,omitempty"`
 }
 
 func main() {
@@ -67,6 +91,16 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	diffAgainst := flag.String("diff-against", "",
 		"previous artifact to diff the embedded metrics against (report on stderr)")
+	diffFatal := flag.Bool("diff-fatal", false,
+		"exit non-zero if -diff-against reports any changed metric "+
+			"(the lane-vs-scalar equivalence gate)")
+	lanes := flag.Bool("lanes", true,
+		"lane-parallel warm phase: share each benchmark's warm stream across "+
+			"all designs (an in-memory checkpoint store is used when -ckptdir "+
+			"is unset); -lanes=false measures the scalar warm baseline")
+	laneBenchLog := flag.String("lane-bench-log", "",
+		"go-test output of BenchmarkLaneSweep to embed in the lanes block "+
+			"(bench_speedup per workload)")
 	cpuprofile := flag.String("cpuprofile", "",
 		"write a CPU profile of the simulation region to this file "+
 			"(covers only the run sweep — setup, JSON encoding, and metric diffing are excluded)")
@@ -88,7 +122,17 @@ func main() {
 	}
 	benches := tlc.Benchmarks()
 
+	if *lanes && opt.Checkpoints == nil {
+		// The lane phase carries warm state to the runs through a checkpoint
+		// store; without -ckptdir an in-memory one scoped to this invocation
+		// serves. Sized to the grid: the default capacity (64) is smaller
+		// than the full 6x12 grid, and LRU eviction between the warm phase
+		// and the runs would silently re-warm the evicted points scalar.
+		opt.Checkpoints = tlc.NewCheckpointStore(len(designs)*len(benches), "")
+	}
+
 	s := experiments.NewSuite(opt)
+	s.NoLanes = !*lanes
 	var mu sync.Mutex
 	wall := make(map[string]time.Duration)
 	s.OnRun = func(ev experiments.RunEvent) {
@@ -135,6 +179,23 @@ func main() {
 	m := s.Metrics()
 	doc.SimulatedRuns = m.Simulated
 	doc.SimWallMS = float64(m.SimWall.Microseconds()) / 1000
+	if *lanes {
+		doc.Lanes = &laneStatsJSON{
+			Groups:        m.LaneGroups,
+			LanesWarmed:   m.LanesWarmed,
+			BatchesShared: m.LaneBatches,
+			ScalarPoints:  m.LaneScalarPoints,
+			WarmWallMS:    float64(m.LaneWall.Microseconds()) / 1000,
+		}
+		if *laneBenchLog != "" {
+			sp, err := parseLaneBench(*laneBenchLog)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			doc.Lanes.BenchSpeedups = sp
+		}
+	}
 
 	norm := map[tlc.Design]*stats.Series{}
 	for _, d := range designs {
@@ -188,6 +249,29 @@ func main() {
 		// speedup over a serial sweep.
 		doc.Headline["parallel_overlap"] = float64(m.SimWall) / float64(elapsed)
 	}
+	var prev *document
+	if *diffAgainst != "" {
+		prev, err = readArtifact(*diffAgainst)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// Record the sweep-level wall speedup in the artifact itself: total
+		// simulation cost — runs plus any shared warm passes — against the
+		// previous artifact's. A lane-phased sweep diffed against a scalar
+		// one captures exactly what lane grouping saved.
+		cost := doc.SimWallMS
+		if doc.Lanes != nil {
+			cost += doc.Lanes.WarmWallMS
+		}
+		prevCost := prev.SimWallMS
+		if prev.Lanes != nil {
+			prevCost += prev.Lanes.WarmWallMS
+		}
+		if cost > 0 && prevCost > 0 {
+			doc.Headline["sim_wall_speedup_vs_prev"] = prevCost / cost
+		}
+	}
 	sortRecords(doc.Runs)
 
 	w := os.Stdout
@@ -207,9 +291,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *diffAgainst != "" {
-		if _, _, err := diffMetrics(*diffAgainst, doc, os.Stderr); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+	if prev != nil {
+		changed, _ := diffMetrics(*diffAgainst, *prev, doc, os.Stderr)
+		if *diffFatal && changed > 0 {
+			fmt.Fprintf(os.Stderr, "tlcbench: -diff-fatal: %d metrics changed vs %s\n",
+				changed, *diffAgainst)
 			os.Exit(1)
 		}
 	}
@@ -243,19 +329,7 @@ func main() {
 // one — in particular, Snapshot.Value's sorted-order binary search is NOT
 // used on the deserialized previous artifact, which carries no ordering
 // guarantee.
-func diffMetrics(path string, cur document, w io.Writer) (changed, compared int, err error) {
-	raw, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return 0, 0, fmt.Errorf("tlcbench: -diff-against: no previous artifact at %s", path)
-	}
-	if err != nil {
-		return 0, 0, fmt.Errorf("tlcbench: -diff-against: cannot read %s: %v", path, err)
-	}
-	var prev document
-	if err := json.Unmarshal(raw, &prev); err != nil {
-		return 0, 0, fmt.Errorf("tlcbench: -diff-against: %s is not a tlcbench artifact: %v", path, err)
-	}
-
+func diffMetrics(path string, prev, cur document, w io.Writer) (changed, compared int) {
 	prevRuns := make(map[string]map[string]float64, len(prev.Runs))
 	for _, r := range prev.Runs {
 		vals := make(map[string]float64, len(r.Metrics))
@@ -285,7 +359,73 @@ func diffMetrics(path string, cur document, w io.Writer) (changed, compared int,
 	}
 	fmt.Fprintf(w, "metrics diff vs %s: %d of %d values changed\n",
 		path, changed, compared)
-	return changed, compared, nil
+	return changed, compared
+}
+
+// readArtifact loads and parses a previous trajectory artifact.
+func readArtifact(path string) (*document, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("tlcbench: -diff-against: no previous artifact at %s", path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tlcbench: -diff-against: cannot read %s: %v", path, err)
+	}
+	var prev document
+	if err := json.Unmarshal(raw, &prev); err != nil {
+		return nil, fmt.Errorf("tlcbench: -diff-against: %s is not a tlcbench artifact: %v", path, err)
+	}
+	return &prev, nil
+}
+
+// parseLaneBench extracts the lane_speedup metric per workload from a
+// `go test -bench BenchmarkLaneSweep` log. Each result line looks like
+//
+//	BenchmarkLaneSweep/bzip-4  3  279292635 ns/op  4.064 lane_speedup  ...
+//
+// (custom metrics in value-then-unit pairs; order among them is not
+// guaranteed, so the value is found as the field preceding the
+// "lane_speedup" token). The sub-benchmark name, stripped of the
+// BenchmarkLaneSweep/ prefix and the -GOMAXPROCS suffix, keys the map.
+func parseLaneBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tlcbench: -lane-bench-log: cannot read %s: %v", path, err)
+	}
+	defer f.Close()
+	const prefix = "BenchmarkLaneSweep/"
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], prefix) {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], prefix)
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 1; i < len(fields); i++ {
+			if fields[i] != "lane_speedup" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("tlcbench: -lane-bench-log: %s: bad lane_speedup for %s: %v", path, name, err)
+			}
+			out[name] = v
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tlcbench: -lane-bench-log: reading %s: %v", path, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("tlcbench: -lane-bench-log: %s has no BenchmarkLaneSweep results with a lane_speedup metric", path)
+	}
+	return out, nil
 }
 
 // sortRecords keeps the emitted order stable regardless of execution order.

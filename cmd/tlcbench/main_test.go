@@ -17,9 +17,9 @@ import (
 // not a wrapped *PathError dump.
 func TestDiffMetricsMissingArtifact(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "nope.json")
-	_, _, err := diffMetrics(path, document{}, io.Discard)
+	_, err := readArtifact(path)
 	if err == nil {
-		t.Fatalf("diffMetrics(%q) = nil, want error", path)
+		t.Fatalf("readArtifact(%q) = nil, want error", path)
 	}
 	msg := err.Error()
 	if !strings.Contains(msg, path) {
@@ -40,9 +40,9 @@ func TestDiffMetricsMalformedArtifact(t *testing.T) {
 	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, _, err := diffMetrics(path, document{}, io.Discard)
+	_, err := readArtifact(path)
 	if err == nil {
-		t.Fatalf("diffMetrics(%q) = nil, want error", path)
+		t.Fatalf("readArtifact(%q) = nil, want error", path)
 	}
 	msg := err.Error()
 	if !strings.Contains(msg, path) {
@@ -84,12 +84,57 @@ func TestDiffMetricsValidArtifact(t *testing.T) {
 			},
 		}},
 	}
-	changed, compared, err := diffMetrics(path, cur, io.Discard)
+	got, err := readArtifact(path)
 	if err != nil {
-		t.Fatalf("diffMetrics on valid artifact: %v", err)
+		t.Fatalf("readArtifact on valid artifact: %v", err)
 	}
+	changed, compared := diffMetrics(path, *got, cur, io.Discard)
 	if changed != 1 || compared != 1 {
 		t.Fatalf("diff = %d changed of %d compared, want 1 of 1", changed, compared)
+	}
+}
+
+// TestParseLaneBench: the -lane-bench-log parser must pull lane_speedup
+// per workload out of real `go test -bench` output — tab-separated fields,
+// -GOMAXPROCS suffix on sub-benchmark names, unrelated benchmark and
+// chatter lines interleaved — and fail loudly on a log with no results.
+func TestParseLaneBench(t *testing.T) {
+	log := strings.Join([]string{
+		"goos: linux",
+		"goarch: amd64",
+		"pkg: tlc",
+		"BenchmarkWarmThroughput/gcc-4 \t 5\t 1000 ns/op",
+		"BenchmarkLaneSweep/bzip-4         \t       3\t 279292635 ns/op\t       387.6 lane_Minstr_per_s\t         4.064 lane_speedup\t        95.38 scalar_Minstr_per_s",
+		"BenchmarkLaneSweep/gcc            \t       3\t 471834522 ns/op\t       229.4 lane_Minstr_per_s\t         2.403 lane_speedup\t        95.45 scalar_Minstr_per_s",
+		"PASS",
+	}, "\n")
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(path, []byte(log), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseLaneBench(path)
+	if err != nil {
+		t.Fatalf("parseLaneBench: %v", err)
+	}
+	want := map[string]float64{"bzip": 4.064, "gcc": 2.403}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("speedup[%q] = %g, want %g", k, got[k], v)
+		}
+	}
+
+	empty := filepath.Join(t.TempDir(), "empty.txt")
+	if err := os.WriteFile(empty, []byte("PASS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseLaneBench(empty); err == nil {
+		t.Error("parseLaneBench on a log without results = nil, want error")
+	}
+	if _, err := parseLaneBench(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Error("parseLaneBench on a missing file = nil, want error")
 	}
 }
 
@@ -141,10 +186,11 @@ func TestDiffMetricsOrderIndependent(t *testing.T) {
 			{Name: "noc.flits", Value: 7},
 		}),
 	}}
-	changed, compared, err := diffMetrics(path, cur, io.Discard)
+	got, err := readArtifact(path)
 	if err != nil {
 		t.Fatal(err)
 	}
+	changed, compared := diffMetrics(path, *got, cur, io.Discard)
 	if changed != 0 {
 		t.Errorf("reordered identical artifact reported %d changed metrics, want 0", changed)
 	}
@@ -154,10 +200,7 @@ func TestDiffMetricsOrderIndependent(t *testing.T) {
 
 	// And a genuine change in an unsorted previous artifact is still found.
 	cur.Runs[0].Metrics[1].Value = 999 // gcc l2.misses
-	changed, compared, err = diffMetrics(path, cur, io.Discard)
-	if err != nil {
-		t.Fatal(err)
-	}
+	changed, compared = diffMetrics(path, *got, cur, io.Discard)
 	if changed != 1 || compared != 6 {
 		t.Errorf("diff = %d changed of %d compared, want 1 of 6", changed, compared)
 	}

@@ -30,12 +30,15 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"runtime"
 	"sync"
+	"time"
 
 	"tlc"
 	"tlc/internal/api"
@@ -47,6 +50,8 @@ import (
 )
 
 var par = flag.Int("par", runtime.NumCPU(), "simulation parallelism (local execution)")
+
+var jsonOut = flag.String("json", "", `write sweep timing JSON to FILE ("-" for stdout): per-grid-point wall times plus lane-sharing stats`)
 
 // sweepOptions is the base configuration every simulation sweep starts
 // from: the accelerator flags applied plus the invocation-wide checkpoint
@@ -60,11 +65,83 @@ type runSpec struct {
 	opt    tlc.Options
 }
 
-// runGrid executes a sweep grid and returns results in spec order — in
-// process by default (bounded by -par), as one streaming POST /v1/sweeps
-// under -remote. Results land by index, so rendering is independent of
-// completion order and byte-identical across all execution paths.
-var runGrid func(specs []runSpec) ([]tlc.Result, error)
+// runGrid executes a sweep grid and returns results plus per-point host
+// wall times (milliseconds) in spec order — in process by default (bounded
+// by -par), as one streaming POST /v1/sweeps under -remote. Results land by
+// index, so rendering is independent of completion order and byte-identical
+// across all execution paths; wall times are local measurements (or the
+// server's, under -remote) and feed only the -json timing report, never the
+// rendered tables.
+var runGrid func(specs []runSpec) ([]tlc.Result, []float64, error)
+
+// timing collects the -json report: per-grid-point wall times (so
+// lane-grouping wins are visible point by point, not just in the
+// aggregate) plus the lane-sharing stats of the local warm passes.
+type timing struct {
+	mu    sync.Mutex
+	Grids []gridJSON `json:"grids"`
+	Lanes lanesJSON  `json:"lanes"`
+}
+
+type gridJSON struct {
+	Sweep string `json:"sweep"`
+	// WallMS is the grid's elapsed host wall time; the per-point walls
+	// overlap under -par, so they sum to more than this.
+	WallMS float64     `json:"wall_ms"`
+	Points []pointJSON `json:"points"`
+}
+
+type pointJSON struct {
+	Index  int     `json:"index"`
+	Design string  `json:"design"`
+	Bench  string  `json:"bench"`
+	Seed   int64   `json:"seed"`
+	WallMS float64 `json:"wall_ms"`
+	Cycles uint64  `json:"cycles"`
+}
+
+type lanesJSON struct {
+	Groups        uint64 `json:"groups"`
+	LanesWarmed   uint64 `json:"lanes_warmed"`
+	BatchesShared uint64 `json:"batches_shared"`
+	ScalarPoints  uint64 `json:"scalar_points"`
+}
+
+var timings = &timing{}
+
+// recordGrid appends one executed grid to the -json report.
+func (t *timing) recordGrid(sweep string, specs []runSpec, results []tlc.Result, walls []float64, elapsed time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	g := gridJSON{Sweep: sweep, WallMS: float64(elapsed.Microseconds()) / 1000}
+	for i, s := range specs {
+		g.Points = append(g.Points, pointJSON{
+			Index:  i,
+			Design: s.design.String(),
+			Bench:  s.bench,
+			Seed:   s.opt.Seed,
+			WallMS: walls[i],
+			Cycles: results[i].Cycles,
+		})
+	}
+	t.Grids = append(t.Grids, g)
+}
+
+// write emits the report to -json's target.
+func (t *timing) write(path string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	buf, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
 
 func main() {
 	bench := flag.String("bench", "mcf", "benchmark for simulation sweeps")
@@ -118,15 +195,21 @@ func main() {
 	if err := accel.WriteMetrics(); err != nil {
 		log.Fatal(err)
 	}
+	if *jsonOut != "" {
+		if err := timings.write(*jsonOut); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
 // localGrid executes grids in process through per-options suites: one
 // suite per distinct option set (a suite keys its run cache by design and
 // benchmark only), all sharing the invocation's checkpoint store via
 // sweepOptions. Concurrency is bounded by -par.
-func localGrid() func([]runSpec) ([]tlc.Result, error) {
+func localGrid() func([]runSpec) ([]tlc.Result, []float64, error) {
 	var mu sync.Mutex
 	suites := make(map[string]*experiments.Suite)
+	planner := experiments.NewLanePlanner()
 	run := func(s runSpec) (tlc.Result, error) {
 		key := s.opt.ContentKey()
 		mu.Lock()
@@ -138,18 +221,45 @@ func localGrid() func([]runSpec) ([]tlc.Result, error) {
 		mu.Unlock()
 		return suite.RunErr(s.design, s.bench)
 	}
-	return func(specs []runSpec) ([]tlc.Result, error) {
+	return func(specs []runSpec) ([]tlc.Result, []float64, error) {
+		// Lane phase: grid points sharing a workload stream (every spec
+		// here shares the invocation's checkpoint store) warm once through
+		// a lane-parallel pass; the runs below then restore instead of
+		// re-warming. Results are pinned bit-identical either way.
+		points := make([]experiments.GridPoint, len(specs))
+		for i, s := range specs {
+			points[i] = experiments.GridPoint{Design: s.design, Bench: s.bench, Opt: s.opt}
+		}
+		mu.Lock()
+		groups := planner.Plan(points)
+		timings.Lanes.ScalarPoints += uint64(planner.ScalarPoints())
+		for i := range groups {
+			g := &groups[i]
+			if len(g.Designs) < 2 {
+				continue
+			}
+			if st, err := tlc.WarmLanes(g.Designs, g.Bench, g.Opt); err == nil && st.Lanes > 0 {
+				timings.Lanes.Groups++
+				timings.Lanes.LanesWarmed += uint64(st.Lanes)
+				timings.Lanes.BatchesShared += st.Batches
+			}
+		}
+		mu.Unlock()
+
 		results := make([]tlc.Result, len(specs))
+		walls := make([]float64, len(specs))
 		errs := make([]error, len(specs))
 		grid(len(specs), func(i int) {
+			start := time.Now()
 			results[i], errs[i] = run(specs[i])
+			walls[i] = float64(time.Since(start).Microseconds()) / 1000
 		})
 		for _, err := range errs {
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
-		return results, nil
+		return results, walls, nil
 	}
 }
 
@@ -158,12 +268,12 @@ func localGrid() func([]runSpec) ([]tlc.Result, error) {
 // index as they complete. Identical configurations coalesce and cache
 // server-side; records embed the complete tlc.Result, so the sweeps render
 // exactly what a local run produces.
-func remoteGrid(base string) func([]runSpec) ([]tlc.Result, error) {
+func remoteGrid(base string) func([]runSpec) ([]tlc.Result, []float64, error) {
 	c := client.New(base, &http.Client{})
 	if err := c.Health(context.Background()); err != nil {
 		log.Fatalf("tlcsweep: -remote %s: %v", base, err)
 	}
-	return func(specs []runSpec) ([]tlc.Result, error) {
+	return func(specs []runSpec) ([]tlc.Result, []float64, error) {
 		sreq := api.SweepRequest{Points: make([]api.RunRequest, len(specs))}
 		for i, s := range specs {
 			sreq.Points[i] = api.RunRequest{
@@ -173,6 +283,7 @@ func remoteGrid(base string) func([]runSpec) ([]tlc.Result, error) {
 			}
 		}
 		results := make([]tlc.Result, len(specs))
+		walls := make([]float64, len(specs))
 		got := 0
 		err := c.Sweep(context.Background(), sreq, func(p api.SweepPoint) error {
 			if p.Index < 0 || p.Index >= len(specs) {
@@ -187,16 +298,17 @@ func remoteGrid(base string) func([]runSpec) ([]tlc.Result, error) {
 				return fmt.Errorf("sweep point %s/%s: %w", s.design, s.bench, err)
 			}
 			results[p.Index] = res
+			walls[p.Index] = p.Record.WallMS
 			got++
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if got != len(specs) {
-			return nil, fmt.Errorf("sweep stream ended after %d of %d points", got, len(specs))
+			return nil, nil, fmt.Errorf("sweep stream ended after %d of %d points", got, len(specs))
 		}
-		return results, nil
+		return results, walls, nil
 	}
 }
 
@@ -233,10 +345,12 @@ func memorySweep(bench string) {
 		}
 		specs = append(specs, runSpec{designs[i%len(designs)], bench, opt})
 	}
-	results, err := runGrid(specs)
+	start := time.Now()
+	results, walls, err := runGrid(specs)
 	if err != nil {
 		log.Fatal(err)
 	}
+	timings.recordGrid("memory", specs, results, walls, time.Since(start))
 
 	t := report.NewTable(fmt.Sprintf("Memory-model sensitivity (%s)", bench),
 		"Design", "Flat 300 (cycles)", "Banked DRAM (cycles)", "Ratio")
@@ -269,10 +383,12 @@ func seedSweep(bench string) {
 		opt.Seed = seeds[i%len(seeds)]
 		specs = append(specs, runSpec{designs[i/len(seeds)], bench, opt})
 	}
-	results, err := runGrid(specs)
+	start := time.Now()
+	results, walls, err := runGrid(specs)
 	if err != nil {
 		log.Fatal(err)
 	}
+	timings.recordGrid("seeds", specs, results, walls, time.Since(start))
 
 	t := report.NewTable(fmt.Sprintf("Seed robustness over %v (%s)", seeds, bench),
 		"Design", "Cycles mean", "Cycles spread", "Lookup mean", "Lookup spread")

@@ -1,0 +1,326 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"slices"
+
+	"tlc/internal/mem"
+)
+
+// StateEqual reports whether o has the same geometry and identical line,
+// validity, and recency state as c. Equal arrays fed the same reference
+// stream evolve identically — the invariant lane cohorts build on.
+func (c *SetAssoc) StateEqual(o *SetAssoc) bool {
+	return c.sets == o.sets && c.assoc == o.assoc &&
+		slices.Equal(c.lines, o.lines) &&
+		bytes.Equal(c.valid, o.valid) &&
+		bytes.Equal(c.lru, o.lru)
+}
+
+// LaneGeom is the geometry of one lane: a set-associative array shape.
+type LaneGeom struct {
+	Sets  int
+	Assoc int
+}
+
+// Lanes is K set-associative arrays in a structure-of-arrays layout: the
+// lines, valid, recency, and dirty state of every lane live in one shared
+// allocation apiece, each lane occupying a contiguous region at base[l].
+// One warm reference stream drives all K lanes per reference, so a grid of
+// configurations sharing a workload pays for the stream — generation,
+// batching, traversal — once instead of K times. Lane state round-trips
+// to and from ordinary SetAssoc arrays via LoadLane/StoreLane, so lanes
+// are an execution layout, not a new cache type: state evolution per lane
+// is bit-identical to an independent SetAssoc fed the same references.
+type Lanes struct {
+	geoms []LaneGeom
+	// base[l] is the first line index of lane l; lane l spans
+	// [base[l], base[l]+geoms[l].Sets*geoms[l].Assoc).
+	base  []int
+	sets  []int // per-lane set counts, hoisted for the kernel
+	assoc []int
+	// lines/valid/lru hold every lane's array state back to back, with the
+	// same invariants as SetAssoc: invalid ways hold the invalidLine
+	// sentinel, recency ranks within a set are a permutation.
+	lines []mem.Block
+	valid []uint8
+	lru   []uint8
+	// dirty is the per-line write-back state the warm sweep maintains,
+	// sharing the lane layout (the "one tag/dirty array block").
+	dirty []uint8
+	all2  bool
+}
+
+// NewLanes builds an empty K-lane array block. Geometry constraints match
+// NewSetAssoc: power-of-two sets, associativity within the recency encoding.
+func NewLanes(geoms []LaneGeom) *Lanes {
+	if len(geoms) == 0 {
+		panic("cache: lanes need at least one geometry")
+	}
+	ln := &Lanes{
+		geoms: append([]LaneGeom(nil), geoms...),
+		base:  make([]int, len(geoms)),
+		sets:  make([]int, len(geoms)),
+		assoc: make([]int, len(geoms)),
+		all2:  true,
+	}
+	total := 0
+	for l, g := range geoms {
+		if !mem.IsPow2(g.Sets) {
+			panic(fmt.Sprintf("cache: lane %d sets=%d is not a power of two", l, g.Sets))
+		}
+		if g.Assoc <= 0 || g.Assoc > 255 {
+			panic(fmt.Sprintf("cache: lane %d assoc=%d out of range", l, g.Assoc))
+		}
+		ln.base[l] = total
+		ln.sets[l] = g.Sets
+		ln.assoc[l] = g.Assoc
+		if g.Assoc != 2 {
+			ln.all2 = false
+		}
+		total += g.Sets * g.Assoc
+	}
+	ln.lines = make([]mem.Block, total)
+	ln.valid = make([]uint8, total)
+	ln.lru = make([]uint8, total)
+	ln.dirty = make([]uint8, total)
+	for i := range ln.lines {
+		ln.lines[i] = invalidLine
+	}
+	for l, g := range geoms {
+		for s := 0; s < g.Sets; s++ {
+			for w := 0; w < g.Assoc; w++ {
+				ln.lru[ln.base[l]+s*g.Assoc+w] = uint8(w)
+			}
+		}
+	}
+	return ln
+}
+
+// K reports the lane count.
+func (ln *Lanes) K() int { return len(ln.geoms) }
+
+// Geom reports lane l's geometry.
+func (ln *Lanes) Geom(l int) LaneGeom { return ln.geoms[l] }
+
+// LoadLane copies a SetAssoc array and its dirty sideband into lane l.
+// The geometries must match.
+func (ln *Lanes) LoadLane(l int, c *SetAssoc, dirty []uint8) {
+	ln.checkLane(l, c, dirty)
+	base, n := ln.base[l], ln.sets[l]*ln.assoc[l]
+	copy(ln.lines[base:base+n], c.lines)
+	copy(ln.valid[base:base+n], c.valid)
+	copy(ln.lru[base:base+n], c.lru)
+	copy(ln.dirty[base:base+n], dirty)
+}
+
+// StoreLane copies lane l back into a SetAssoc array and its dirty
+// sideband: the inverse of LoadLane.
+func (ln *Lanes) StoreLane(l int, c *SetAssoc, dirty []uint8) {
+	ln.checkLane(l, c, dirty)
+	base, n := ln.base[l], ln.sets[l]*ln.assoc[l]
+	copy(c.lines, ln.lines[base:base+n])
+	copy(c.valid, ln.valid[base:base+n])
+	copy(c.lru, ln.lru[base:base+n])
+	copy(dirty, ln.dirty[base:base+n])
+}
+
+func (ln *Lanes) checkLane(l int, c *SetAssoc, dirty []uint8) {
+	if c.sets != ln.sets[l] || c.assoc != ln.assoc[l] {
+		panic(fmt.Sprintf("cache: lane %d is %dx%d, array is %dx%d",
+			l, ln.sets[l], ln.assoc[l], c.sets, c.assoc))
+	}
+	if len(dirty) != c.sets*c.assoc {
+		panic(fmt.Sprintf("cache: lane %d dirty slice has %d entries, want %d",
+			l, len(dirty), c.sets*c.assoc))
+	}
+}
+
+// WarmSweepLanes drives the whole batch through lane after lane: lanes are
+// mutually independent (nothing a reference does to lane l is visible to
+// lane l+1), so consuming refs per lane leaves lane l's state evolution
+// exactly what SetAssoc.WarmSweep would produce for the same stream, while
+// the batch stays cache-resident as each lane's contiguous region streams
+// through once. Blocks lane l's next cache level must observe — dirty
+// victims at eviction, then missing loads at fill — are appended to
+// spills[l] in reference order, and the extended slices are returned (the
+// backing arrays are reused in place when capacity allows).
+//
+// When every lane is 2-way and each spills[l] has headroom for two slots
+// per reference, the sweep runs the branch-free warmSweep2 body per lane
+// with plain indexed spill stores and allocates nothing.
+func (ln *Lanes) WarmSweepLanes(refs []WarmRef, spills [][]mem.Block) [][]mem.Block {
+	if len(spills) != len(ln.geoms) {
+		panic(fmt.Sprintf("cache: %d spill slices for %d lanes", len(spills), len(ln.geoms)))
+	}
+	if ln.all2 && ln.spillHeadroom(refs, spills) {
+		return ln.warmSweepLanes2(refs, spills)
+	}
+	for l := range ln.geoms {
+		sp := spills[l]
+		for i := range refs {
+			b := refs[i].Block
+			var st uint8
+			if refs[i].Store {
+				st = 1
+			}
+			idx, hit, victim, evicted := ln.touchOrInsertLane(l, b)
+			if hit {
+				ln.dirty[idx] |= st
+				continue
+			}
+			if evicted && ln.dirty[idx] != 0 {
+				sp = append(sp, victim)
+			}
+			ln.dirty[idx] = st
+			if st == 0 {
+				sp = append(sp, b)
+			}
+		}
+		spills[l] = sp
+	}
+	return spills
+}
+
+func (ln *Lanes) spillHeadroom(refs []WarmRef, spills [][]mem.Block) bool {
+	for l := range spills {
+		if cap(spills[l])-len(spills[l]) < 2*len(refs) {
+			return false
+		}
+	}
+	return true
+}
+
+// warmSweepLanes2 is the all-2-way kernel: the branch-free warmSweep2 body
+// run lane by lane over the shared batch. The per-decision bit arithmetic
+// is identical to warmSweep2 — only the array base differs per lane — so
+// each lane's state trajectory matches the single-array kernel bit for
+// bit. With lanes outermost the lane base, set count, and spill cursor
+// stay in registers for the whole batch, exactly as they do in the scalar
+// kernel, and the batch is re-read from cache K times instead of the lane
+// regions being re-touched per reference.
+func (ln *Lanes) warmSweepLanes2(refs []WarmRef, spills [][]mem.Block) [][]mem.Block {
+	lines, valid, lru, dirty := ln.lines, ln.valid, ln.lru, ln.dirty
+	for l := range ln.geoms {
+		laneBase := ln.base[l]
+		sets := ln.sets[l]
+		sp := spills[l][:cap(spills[l])]
+		sl := len(spills[l])
+		for i := range refs {
+			b := refs[i].Block
+			var st uint8
+			if refs[i].Store {
+				st = 1
+			}
+			if b == invalidLine {
+				// The sentinel value cannot use the tag-only probe; route it
+				// through the valid-checked generic path.
+				idx, hit, victim, evicted := ln.touchOrInsertLane(l, b)
+				if hit {
+					dirty[idx] |= st
+					continue
+				}
+				if evicted && dirty[idx] != 0 {
+					sp[sl] = victim
+					sl++
+				}
+				dirty[idx] = st
+				if st == 0 {
+					sp[sl] = b
+					sl++
+				}
+				continue
+			}
+			base := laneBase + b.SetIndex(sets)*2
+			l0 := lines[base]
+			l1 := lines[base+1]
+			y0 := uint64(l0) ^ uint64(b)
+			y1 := uint64(l1) ^ uint64(b)
+			eq1 := ((y1 | -y1) >> 63) ^ 1          // way 1 holds b
+			hitF := eq1 | (((y0 | -y0) >> 63) ^ 1) // some way holds b
+			z0 := uint64(l0) ^ ^uint64(0)
+			v0 := (z0 | -z0) >> 63 // way 0 valid (not the sentinel)
+			z1 := uint64(l1) ^ ^uint64(0)
+			v1 := (z1 | -z1) >> 63 // way 1 valid
+			// Miss way: the first invalid way (0 before 1, as the generic
+			// scan prefers), else the LRU-ranked way.
+			mwBit := v0 & ((v1 ^ 1) | (uint64(lru[base]) ^ 1))
+			wBit := (hitF & eq1) | ((hitF ^ 1) & mwBit)
+			w := base + int(wBit)
+			victim := lines[w]
+			lines[w] = b
+			valid[w] = 1
+			lru[base] = uint8(wBit)
+			lru[base+1] = 1 - uint8(wBit)
+			vd := dirty[w]
+			dirty[w] = (vd & (0 - uint8(hitF))) | st
+			// Spill slots are written unconditionally; the masked increments
+			// decide what the sweep actually emits. Order per reference:
+			// dirty-victim writeback, then the missing load's fill.
+			nh := hitF ^ 1
+			dv := uint64(victim) ^ ^uint64(0)
+			ve := (dv | -dv) >> 63 // victim way was valid
+			v64 := uint64(vd)
+			vdn := (v64 | -v64) >> 63 // victim dirty
+			ld := uint64(st) ^ 1      // load fill
+			sp[sl] = victim
+			sl += int(nh & ve & vdn)
+			sp[sl] = b
+			sl += int(nh & ld)
+		}
+		spills[l] = sp[:sl]
+	}
+	return spills
+}
+
+// touchOrInsertLane mirrors SetAssoc.TouchOrInsertAt's generic scan on lane
+// l's region: one pass finds b, the first invalid way, and the LRU way
+// together; a hit promotes, a miss installs (invalid way first, else the
+// LRU way). State evolution is identical to the single-array path for any
+// associativity, including the 2-way fast path it specializes.
+func (ln *Lanes) touchOrInsertLane(l int, b mem.Block) (idx int, hit bool, victim mem.Block, evicted bool) {
+	assoc := ln.assoc[l]
+	set := b.SetIndex(ln.sets[l])
+	base := ln.base[l] + set*assoc
+	invalid, lruWay := -1, -1
+	for w := 0; w < assoc; w++ {
+		if ln.valid[base+w] == 0 {
+			if invalid == -1 {
+				invalid = w
+			}
+			continue
+		}
+		if ln.lines[base+w] == b {
+			ln.promoteLane(base, assoc, base+w)
+			return base + w, true, 0, false
+		}
+		if ln.lru[base+w] == uint8(assoc-1) {
+			lruWay = w
+		}
+	}
+	way := invalid
+	if way == -1 {
+		way = lruWay
+		victim = ln.lines[base+way]
+		evicted = true
+	}
+	ln.lines[base+way] = b
+	ln.valid[base+way] = 1
+	ln.promoteLane(base, assoc, base+way)
+	return base + way, false, victim, evicted
+}
+
+// promoteLane makes line idx the MRU of the set starting at base.
+func (ln *Lanes) promoteLane(base, assoc, idx int) {
+	was := ln.lru[idx]
+	if was == 0 {
+		return
+	}
+	for w := 0; w < assoc; w++ {
+		if ln.lru[base+w] < was {
+			ln.lru[base+w]++
+		}
+	}
+	ln.lru[idx] = 0
+}

@@ -1,0 +1,173 @@
+package cache
+
+import (
+	"reflect"
+	"testing"
+
+	"tlc/internal/mem"
+)
+
+// laneRefs builds a pseudo-random warm stream over a space a few times the
+// largest lane's capacity: hits, misses into free ways, evicting misses,
+// ~1/4 stores, and (when withSentinel is set) occasional references to the
+// invalidLine sentinel block, which must route through the valid-checked
+// generic path.
+func laneRefs(n int, withSentinel bool) []WarmRef {
+	refs := make([]WarmRef, n)
+	x := uint64(3)
+	for i := range refs {
+		x = x*6364136223846793005 + 1442695040888963407
+		b := mem.Block(x >> 52)
+		if withSentinel && x%97 == 0 {
+			b = invalidLine
+		}
+		refs[i] = WarmRef{Block: b, Store: x%4 == 0}
+	}
+	return refs
+}
+
+// TestWarmSweepLanesMatchesScalar is the lane layout's correctness gate:
+// for every geometry mix — all-2-way (the branch-free kernel), mixed
+// associativity (the generic path), and a single lane — a shared
+// WarmSweepLanes pass over one stream must leave every lane's array state,
+// dirty bits, and spill sequence bit-identical to an independent
+// SetAssoc.WarmSweep fed the same references.
+func TestWarmSweepLanesMatchesScalar(t *testing.T) {
+	// kernel selects which scalar WarmSweep body serves as the oracle, by
+	// granting or denying it spill headroom: an all-2-way lane group runs
+	// the branch-free kernel and must match warmSweep2; a mixed group runs
+	// the generic lane path and must match the generic scalar loop. (The
+	// two bodies themselves may diverge only on streams containing the
+	// invalidLine sentinel, which real workloads never produce — the
+	// kernel's tag-authoritative validity is part of its contract.)
+	cases := []struct {
+		name   string
+		geoms  []LaneGeom
+		kernel bool
+	}{
+		{"all-2-way", []LaneGeom{{64, 2}, {32, 2}, {128, 2}}, true},
+		{"mixed-assoc", []LaneGeom{{64, 2}, {16, 4}, {8, 8}}, false},
+		{"single-lane", []LaneGeom{{32, 2}}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ln := NewLanes(tc.geoms)
+			scalars := make([]*SetAssoc, len(tc.geoms))
+			dirties := make([][]uint8, len(tc.geoms))
+			scalarSpills := make([][]mem.Block, len(tc.geoms))
+			laneSpills := make([][]mem.Block, len(tc.geoms))
+			for l, g := range tc.geoms {
+				scalars[l] = NewSetAssoc(g.Sets, g.Assoc)
+				dirties[l] = make([]uint8, g.Sets*g.Assoc)
+				// Start the lane from the scalar array, so any divergence
+				// below is the sweep's, not the initial state's.
+				ln.LoadLane(l, scalars[l], dirties[l])
+			}
+			refs := laneRefs(8192, true)
+			const batch = 512
+			for off := 0; off < len(refs); off += batch {
+				chunk := refs[off : off+batch]
+				for l := range laneSpills {
+					// Headroom for two slots per reference keeps the
+					// branch-free kernel eligible, as the cpu warmer does;
+					// a zero-capacity scalar spill forces the generic body.
+					if tc.kernel {
+						scalarSpills[l] = make([]mem.Block, 0, 2*batch)
+					} else {
+						scalarSpills[l] = nil
+					}
+					laneSpills[l] = make([]mem.Block, 0, 2*batch)
+				}
+				out := ln.WarmSweepLanes(chunk, laneSpills)
+				for l, c := range scalars {
+					scalarSpills[l] = c.WarmSweep(chunk, dirties[l], scalarSpills[l])
+					if !reflect.DeepEqual(scalarSpills[l], out[l]) {
+						t.Fatalf("lane %d batch at %d: spills diverged: scalar %d blocks, lanes %d",
+							l, off, len(scalarSpills[l]), len(out[l]))
+					}
+				}
+			}
+			for l, c := range scalars {
+				got := NewSetAssoc(tc.geoms[l].Sets, tc.geoms[l].Assoc)
+				gotDirty := make([]uint8, len(dirties[l]))
+				ln.StoreLane(l, got, gotDirty)
+				if !reflect.DeepEqual(got.Snapshot(), c.Snapshot()) {
+					t.Errorf("lane %d: array state diverged from scalar WarmSweep", l)
+				}
+				if !reflect.DeepEqual(gotDirty, dirties[l]) {
+					t.Errorf("lane %d: dirty bits diverged from scalar WarmSweep", l)
+				}
+				if err := got.checkLRUPermutation(); err != nil {
+					t.Errorf("lane %d: LRU state corrupt: %v", l, err)
+				}
+			}
+		})
+	}
+}
+
+// TestWarmSweepLanesWithoutHeadroom forces the generic fallback on an
+// all-2-way group (no spill headroom) and checks it against the scalar
+// sweep, so both WarmSweepLanes bodies are pinned, not just the kernel.
+func TestWarmSweepLanesWithoutHeadroom(t *testing.T) {
+	geoms := []LaneGeom{{32, 2}, {64, 2}}
+	ln := NewLanes(geoms)
+	scalars := make([]*SetAssoc, len(geoms))
+	dirties := make([][]uint8, len(geoms))
+	for l, g := range geoms {
+		scalars[l] = NewSetAssoc(g.Sets, g.Assoc)
+		dirties[l] = make([]uint8, g.Sets*g.Assoc)
+		ln.LoadLane(l, scalars[l], dirties[l])
+	}
+	refs := laneRefs(4096, true)
+	// Zero-capacity spills cannot satisfy the kernel's headroom bound, so
+	// the append-based path runs even though every lane is 2-way.
+	out := ln.WarmSweepLanes(refs, make([][]mem.Block, len(geoms)))
+	for l, c := range scalars {
+		want := c.WarmSweep(refs, dirties[l], nil)
+		if !reflect.DeepEqual(want, out[l]) {
+			t.Fatalf("lane %d: fallback spills diverged", l)
+		}
+		got := NewSetAssoc(geoms[l].Sets, geoms[l].Assoc)
+		gotDirty := make([]uint8, len(dirties[l]))
+		ln.StoreLane(l, got, gotDirty)
+		if !reflect.DeepEqual(got.Snapshot(), c.Snapshot()) {
+			t.Errorf("lane %d: fallback array state diverged", l)
+		}
+		if !reflect.DeepEqual(gotDirty, dirties[l]) {
+			t.Errorf("lane %d: fallback dirty bits diverged", l)
+		}
+	}
+}
+
+// TestWarmSweepLanesDoesNotAllocate pins the shared sweep at zero
+// allocations once the lane block and spill buffers exist — for the
+// branch-free kernel and for the generic path given spill capacity.
+func TestWarmSweepLanesDoesNotAllocate(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		geoms []LaneGeom
+	}{
+		{"kernel", []LaneGeom{{64, 2}, {128, 2}, {32, 2}}},
+		{"generic", []LaneGeom{{64, 2}, {16, 4}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ln := NewLanes(tc.geoms)
+			refs := laneRefs(512, false)
+			spills := make([][]mem.Block, len(tc.geoms))
+			for l := range spills {
+				spills[l] = make([]mem.Block, 0, 2*len(refs))
+			}
+			if allocs := testing.AllocsPerRun(10, func() {
+				for l := range spills {
+					spills[l] = spills[l][:0]
+				}
+				out := ln.WarmSweepLanes(refs, spills)
+				for l := range spills {
+					spills[l] = out[l]
+				}
+			}); allocs != 0 {
+				t.Errorf("WarmSweepLanes allocates %.2f per call, want 0", allocs)
+			}
+		})
+	}
+}

@@ -38,6 +38,12 @@ type Suite struct {
 	// concurrent use.
 	OnRun func(RunEvent)
 
+	// NoLanes, when set before the first RunAll, disables the lane-parallel
+	// warm phase: every grid point warms scalar inside its own run. Results
+	// are bit-identical either way — the switch exists so artifacts and
+	// benchmarks can measure the scalar baseline.
+	NoLanes bool
+
 	mu    sync.Mutex
 	cache map[runKey]*flight
 	m     Metrics
@@ -49,6 +55,11 @@ type Suite struct {
 	// each (design, benchmark) contributes exactly once.
 	runMetrics map[runKey]tlc.MetricsSnapshot
 	agg        map[string]uint64
+
+	// planner is the suite's reusable lane-grid planner, guarded by its own
+	// mutex so a long-held plan never blocks the run cache.
+	planMu  sync.Mutex
+	planner *LanePlanner
 }
 
 // RunEvent describes one completed underlying simulation.
@@ -75,6 +86,27 @@ type Metrics struct {
 	// simulations (CPU-seconds of simulation, not elapsed time: parallel
 	// runs overlap).
 	SimWall time.Duration
+
+	// Lane-parallel warm phase counters (the sim.lanes.* spine): how much
+	// grid work the shared-stream passes actually absorbed.
+
+	// LaneGroups counts shared warm passes that warmed at least one lane.
+	LaneGroups uint64
+	// LanesWarmed counts configurations warmed by shared passes — warm-ups
+	// the grid's runs restored instead of re-executing.
+	LanesWarmed uint64
+	// LaneBatches counts stream batches consumed once on behalf of a whole
+	// group, each saved (lanes-1) times over scalar execution.
+	LaneBatches uint64
+	// LaneScalarPoints counts grid points left to scalar warm-up: no
+	// checkpoint store, or a group too small to share.
+	LaneScalarPoints uint64
+	// LaneWall is the summed wall-clock time of the shared warm passes
+	// (CPU-seconds like SimWall: passes running in parallel overlap). Add
+	// it to SimWall when comparing a lane-phased sweep's total simulation
+	// cost against a scalar one — the runs' own wall no longer carries the
+	// warm-up the passes pre-paid.
+	LaneWall time.Duration
 }
 
 // flight is one singleflight cache entry: the first requester of a key
@@ -339,6 +371,18 @@ func (s *Suite) RunAll(designs []tlc.Design, benches []string, par int) error {
 	if par < 1 {
 		par = 1
 	}
+	// Lane phase: pay each benchmark's warm-up once for all designs through
+	// a shared stream, so the workers below restore checkpoints instead of
+	// re-warming per point. Purely an accelerator — results are pinned
+	// bit-identical to scalar warm-up — and a no-op without a checkpoint
+	// store.
+	points := make([]GridPoint, 0, len(designs)*len(benches))
+	for _, d := range designs {
+		for _, b := range benches {
+			points = append(points, GridPoint{Design: d, Bench: b, Opt: s.Opt})
+		}
+	}
+	s.warmLanes(points, par)
 	type job struct {
 		d tlc.Design
 		b string

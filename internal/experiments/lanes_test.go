@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"testing"
+
+	"tlc"
+)
+
+// planPoints builds a grid over designs x benches with a shared option set.
+func planPoints(designs []tlc.Design, benches []string, opt tlc.Options) []GridPoint {
+	pts := make([]GridPoint, 0, len(designs)*len(benches))
+	for _, d := range designs {
+		for _, b := range benches {
+			pts = append(pts, GridPoint{Design: d, Bench: b, Opt: opt})
+		}
+	}
+	return pts
+}
+
+func TestLanePlannerGroupsByStream(t *testing.T) {
+	store := tlc.NewCheckpointStore(0, "")
+	opt := tlc.DefaultOptions()
+	opt.Checkpoints = store
+	designs := []tlc.Design{tlc.DesignSNUCA2, tlc.DesignDNUCA, tlc.DesignTLC}
+
+	p := NewLanePlanner()
+	groups := p.Plan(planPoints(designs, []string{"mcf", "gcc"}, opt))
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2 (one per benchmark)", len(groups))
+	}
+	for _, g := range groups {
+		if len(g.Designs) != 3 {
+			t.Errorf("bench %s: got %d designs, want 3", g.Bench, len(g.Designs))
+		}
+	}
+	if p.ScalarPoints() != 0 {
+		t.Errorf("got %d scalar points, want 0", p.ScalarPoints())
+	}
+}
+
+func TestLanePlannerScalarFallbacks(t *testing.T) {
+	store := tlc.NewCheckpointStore(0, "")
+	opt := tlc.DefaultOptions()
+	opt.Checkpoints = store
+	noStore := tlc.DefaultOptions()
+
+	pts := []GridPoint{
+		// A shareable pair...
+		{Design: tlc.DesignSNUCA2, Bench: "mcf", Opt: opt},
+		{Design: tlc.DesignTLC, Bench: "mcf", Opt: opt},
+		// ...a duplicate configuration (no second lane)...
+		{Design: tlc.DesignTLC, Bench: "mcf", Opt: opt},
+		// ...a lone design on its own stream...
+		{Design: tlc.DesignTLC, Bench: "gcc", Opt: opt},
+		// ...and a point that cannot carry a warm-up at all.
+		{Design: tlc.DesignDNUCA, Bench: "mcf", Opt: noStore},
+	}
+	p := NewLanePlanner()
+	groups := p.Plan(pts)
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+	if len(groups[0].Designs) != 2 || groups[0].Bench != "mcf" {
+		t.Errorf("group 0 = %s/%d designs, want mcf/2", groups[0].Bench, len(groups[0].Designs))
+	}
+	if len(groups[1].Designs) != 1 || groups[1].Bench != "gcc" {
+		t.Errorf("group 1 = %s/%d designs, want gcc/1", groups[1].Bench, len(groups[1].Designs))
+	}
+	// One storeless point plus one singleton group.
+	if p.ScalarPoints() != 2 {
+		t.Errorf("got %d scalar points, want 2", p.ScalarPoints())
+	}
+}
+
+func TestLanePlannerSplitsDistinctStreams(t *testing.T) {
+	opt1 := tlc.DefaultOptions()
+	opt1.Checkpoints = tlc.NewCheckpointStore(0, "")
+	opt2 := opt1
+	opt2.Checkpoints = tlc.NewCheckpointStore(0, "")
+	opt3 := opt1
+	opt3.WarmSeed = 7
+
+	pts := []GridPoint{
+		{Design: tlc.DesignSNUCA2, Bench: "mcf", Opt: opt1},
+		{Design: tlc.DesignTLC, Bench: "mcf", Opt: opt1},
+		// Same grid shape, different store: must not share a pass.
+		{Design: tlc.DesignSNUCA2, Bench: "mcf", Opt: opt2},
+		{Design: tlc.DesignTLC, Bench: "mcf", Opt: opt2},
+		// Same store, different warm seed: a different stream.
+		{Design: tlc.DesignSNUCA2, Bench: "mcf", Opt: opt3},
+		{Design: tlc.DesignTLC, Bench: "mcf", Opt: opt3},
+	}
+	p := NewLanePlanner()
+	groups := p.Plan(pts)
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups, want 3 (per store and warm seed)", len(groups))
+	}
+	for i, g := range groups {
+		if len(g.Designs) != 2 {
+			t.Errorf("group %d: got %d designs, want 2", i, len(g.Designs))
+		}
+	}
+}
+
+// TestLanePlannerSeedEquivalentKeys pins the warm-plan keying rule: a zero
+// WarmSeed falls back to Seed, so points differing only in timed seed (the
+// seed-sweep shape, all pinned to one warm seed) group together.
+func TestLanePlannerSeedEquivalentKeys(t *testing.T) {
+	store := tlc.NewCheckpointStore(0, "")
+	base := tlc.DefaultOptions()
+	base.Checkpoints = store
+
+	a := base
+	a.Seed = 1 // effective warm seed 1
+	b := base
+	b.Seed = 5
+	b.WarmSeed = 1 // explicitly pinned to the same stream
+	pts := []GridPoint{
+		{Design: tlc.DesignSNUCA2, Bench: "mcf", Opt: a},
+		{Design: tlc.DesignTLC, Bench: "mcf", Opt: b},
+	}
+	p := NewLanePlanner()
+	groups := p.Plan(pts)
+	if len(groups) != 1 || len(groups[0].Designs) != 2 {
+		t.Fatalf("seed-equivalent points did not group: %d groups", len(groups))
+	}
+}
+
+// TestLanePlannerDoesNotAllocate pins steady-state planning at zero
+// allocations: after the first Plan sizes the index and group storage,
+// replanning a grid of the same shape reuses it all.
+func TestLanePlannerDoesNotAllocate(t *testing.T) {
+	store := tlc.NewCheckpointStore(0, "")
+	opt := tlc.DefaultOptions()
+	opt.Checkpoints = store
+	pts := planPoints(tlc.Designs(), []string{"mcf", "gcc", "art", "oltp"}, opt)
+
+	p := NewLanePlanner()
+	p.Plan(pts) // size the storage
+	if allocs := testing.AllocsPerRun(10, func() { p.Plan(pts) }); allocs != 0 {
+		t.Errorf("Plan allocates %.2f per call, want 0", allocs)
+	}
+}

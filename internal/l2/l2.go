@@ -64,6 +64,25 @@ type Warmer interface {
 	WarmBulk(blocks []mem.Block)
 }
 
+// WarmAll is the lane-bulk warm entry point: it functionally installs
+// blocks in slice order through the design's bulk path when it implements
+// Warmer, else through per-block Warm calls. It is the one call the
+// lane-parallel warm loop makes per lane per batch, so a design's bulk
+// kernel is reached with a single dispatch however the lanes are mixed.
+// Empty batches (a batch where a lane spilled nothing) cost nothing.
+func WarmAll(c Cache, blocks []mem.Block) {
+	if len(blocks) == 0 {
+		return
+	}
+	if w, ok := c.(Warmer); ok {
+		w.WarmBulk(blocks)
+		return
+	}
+	for _, b := range blocks {
+		c.Warm(b)
+	}
+}
+
 // Instrumented is a Cache wired into the instrumentation spine: it exposes
 // the common access stats and the full metrics registry every layer
 // published into at construction. The harness reports exclusively through

@@ -128,6 +128,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
+	// Lane phase: one shared warm pass per group of grid points on the
+	// same workload stream, so the submits below restore checkpoints
+	// instead of each re-warming. Validate passed, so every point's
+	// design resolves.
+	points := make([]experiments.GridPoint, len(sreq.Points))
+	for i, p := range sreq.Points {
+		d, _ := p.Validate()
+		points[i] = experiments.GridPoint{Design: d, Bench: p.Benchmark, Opt: p.Options.Options()}
+	}
+	s.laneWarm(ctx, points)
+
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	fl, _ := w.(http.Flusher)
@@ -252,6 +263,16 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 
 	suite := s.suiteFor(s.cfg.BaseOptions)
 	if len(fig.designs) > 0 {
+		// Lane phase: each benchmark's warm-up is paid once for every
+		// design of the figure through a shared stream before the grid
+		// fans out.
+		points := make([]experiments.GridPoint, 0, len(fig.designs)*len(tlc.Benchmarks()))
+		for _, d := range fig.designs {
+			for _, b := range tlc.Benchmarks() {
+				points = append(points, experiments.GridPoint{Design: d, Bench: b, Opt: s.cfg.BaseOptions})
+			}
+		}
+		s.laneWarm(ctx, points)
 		var (
 			wg    sync.WaitGroup
 			mu    sync.Mutex

@@ -121,6 +121,18 @@ type Server struct {
 	nHTTP       atomic.Uint64
 	nPeerFills  atomic.Uint64
 	nPeerMisses atomic.Uint64
+
+	// Lane-parallel warm phase: sweep and figure grids are planned into
+	// shared-stream groups and warmed once per group before their points
+	// are submitted. laneMu serializes the passes (concurrent grids would
+	// mostly duplicate each other's warm work); the planner reuses its
+	// storage across plans.
+	laneMu      sync.Mutex
+	planner     *experiments.LanePlanner
+	nLaneGroups atomic.Uint64
+	nLaneWarmed atomic.Uint64
+	nLaneBatch  atomic.Uint64
+	nLaneScalar atomic.Uint64
 	// wallEWMA is an exponentially weighted mean of executed-run wall time
 	// in milliseconds (float64 bits), feeding the Retry-After estimate.
 	wallEWMA atomic.Uint64
@@ -236,6 +248,49 @@ func (s *Server) registerMetrics() {
 	ck := s.cfg.Checkpoints
 	s.reg.CounterFunc("server.checkpoints.hits", func() uint64 { return ck.Stats().Hits })
 	s.reg.CounterFunc("server.checkpoints.misses", func() uint64 { return ck.Stats().Misses })
+	// The sim.lanes.* spine: how much grid warm-up the lane-parallel
+	// passes absorbed (/metricz exposes these next to the run counters).
+	s.reg.CounterFunc("sim.lanes.groups", s.nLaneGroups.Load)
+	s.reg.CounterFunc("sim.lanes.lanes_warmed", s.nLaneWarmed.Load)
+	s.reg.CounterFunc("sim.lanes.batches_shared", s.nLaneBatch.Load)
+	s.reg.CounterFunc("sim.lanes.scalar_points", s.nLaneScalar.Load)
+}
+
+// laneWarm pre-pays a grid's warm-ups into the shared checkpoint store:
+// points are grouped by shared workload stream and each group warmed once
+// through a lane-parallel pass, so the submits that follow restore
+// checkpoints instead of re-warming per point. Purely an accelerator —
+// lane-warmed state is pinned bit-identical to scalar warm-up — so pass
+// errors (the request's deadline expiring mid-pass) just stop the phase;
+// the points themselves still run and surface their own errors.
+func (s *Server) laneWarm(ctx context.Context, points []experiments.GridPoint) {
+	for i := range points {
+		points[i].Opt.Checkpoints = s.cfg.Checkpoints
+		points[i].Opt.Cancel = ctx.Err
+	}
+	s.laneMu.Lock()
+	defer s.laneMu.Unlock()
+	if s.planner == nil {
+		s.planner = experiments.NewLanePlanner()
+	}
+	groups := s.planner.Plan(points)
+	s.nLaneScalar.Add(uint64(s.planner.ScalarPoints()))
+	for i := range groups {
+		g := &groups[i]
+		if len(g.Designs) < 2 {
+			continue
+		}
+		st, err := tlc.WarmLanes(g.Designs, g.Bench, g.Opt)
+		if err != nil {
+			return
+		}
+		if st.Lanes == 0 {
+			continue
+		}
+		s.nLaneGroups.Add(1)
+		s.nLaneWarmed.Add(uint64(st.Lanes))
+		s.nLaneBatch.Add(st.Batches)
+	}
 }
 
 // Metrics exposes the server's registry (tests and /metricz).

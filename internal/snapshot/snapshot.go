@@ -77,6 +77,12 @@ type Checkpoint struct {
 	Core cpu.State
 	L2   l2.State
 	Gen  workload.State
+	// Lanes marks a checkpoint produced by a lane-parallel warm pass (one
+	// shared stream warming several configurations at once). Provenance
+	// only: lane-warmed state is bit-identical to scalar-warmed state, so
+	// consumers restore both the same way. Old stored checkpoints decode
+	// with Lanes false.
+	Lanes bool
 }
 
 // Stats counts store traffic, for tests and the experiment harness's
@@ -161,6 +167,24 @@ func (s *Store) Get(k Key) (Checkpoint, bool) {
 	}
 	s.stats.Misses++
 	return Checkpoint{}, false
+}
+
+// Has reports whether a checkpoint for k is resident in memory or present
+// on the disk tier. Unlike Get it moves no LRU state, reads no disk
+// payload, and leaves the traffic stats untouched — the lane planner
+// probes with it to decide which lanes still need warming without
+// perturbing the hit/miss accounting of the runs themselves.
+func (s *Store) Has(k Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.items[k]; ok {
+		return true
+	}
+	if s.dir == "" {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(s.dir, k.filename()))
+	return err == nil
 }
 
 // Put stores the checkpoint for k, evicting the least-recently-used entry

@@ -443,13 +443,23 @@ func (c *Cache) Warm(b mem.Block) {
 // state evolution is identical to per-block Warm calls in slice order.
 func (c *Cache) WarmBulk(blocks []mem.Block) {
 	bits := mem.Log2(c.p.Groups())
+	sync := c.p.PartialTagInBank
+	assoc := c.groups[0].Assoc()
 	for _, b := range blocks {
 		g := int(mem.FoldHash(uint64(b), bits))
 		local := b >> uint(bits)
 		// TouchOrInsertAt leaves the group array exactly as Insert would,
 		// in one set scan instead of Insert's find-then-place pair.
-		c.groups[g].TouchOrInsertAt(local)
-		c.syncPTag(g, local)
+		idx, hit, _, _ := c.groups[g].TouchOrInsertAt(local)
+		if hit || !sync {
+			// A hit only promotes recency, which the shadow does not
+			// track: the set's lines — and so its shadow — are unchanged.
+			continue
+		}
+		// A warm install mutates exactly one way, the one TouchOrInsertAt
+		// filled, so rewriting that way's shadow entry leaves the partial
+		// tags in the state a full SyncSet of the set would.
+		c.ptags[g].Install(local, 0, idx%assoc)
 	}
 }
 

@@ -515,14 +515,7 @@ func SummarizeSeeds(vals []float64) SeedStats {
 func prepare(d Design, spec workload.Spec, opt Options) (l2.Instrumented, *cpu.Core, *workload.Generator, error) {
 	sys := config.DefaultSystem()
 	inst := build(d, opt)
-	warmSeed := opt.WarmSeed
-	if warmSeed == 0 {
-		warmSeed = opt.Seed
-	}
-	warm := opt.WarmInstructions
-	if warm == 0 {
-		warm = spec.AutoWarmInstructions()
-	}
+	warmSeed, warm := warmPlan(spec, opt)
 	gen := workload.New(spec, warmSeed)
 	core := cpu.New(sys, inst)
 	core.SetCancel(opt.Cancel)
@@ -536,6 +529,12 @@ func prepare(d Design, spec workload.Spec, opt Options) (l2.Instrumented, *cpu.C
 	if opt.Checkpoints != nil {
 		if ckp, ok := opt.Checkpoints.Get(key); ok {
 			restored = restoreCheckpoint(ckp, core, inst, gen)
+			if restored && ckp.Lanes {
+				// Provenance marker: this run skipped warm-up thanks to a
+				// lane-parallel pass. Registered only on lane-restored runs,
+				// so scalar and lane artifacts diff clean on shared names.
+				inst.Metrics().CounterFunc("sim.lanes.restored", func() uint64 { return 1 })
+			}
 		}
 	}
 	if !restored {
