@@ -114,7 +114,10 @@ func main() {
 		opt.RunInstructions = 200_000
 		opt.WarmInstructions = 2_000_000
 	}
-	accel.Apply(&opt)
+	if err := accel.Apply(&opt); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	designs := []tlc.Design{tlc.DesignSNUCA2, tlc.DesignDNUCA, tlc.DesignTLC}
 	if *full {

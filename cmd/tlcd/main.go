@@ -54,6 +54,8 @@ func main() {
 		drainWait   = flag.Duration("drain", 2*time.Minute, "shutdown drain bound")
 		seed        = flag.Int64("seed", 1, "base options seed for figure endpoints")
 		quick       = flag.Bool("quick", false, "quick base options for figure endpoints (shorter runs)")
+		cores       = flag.Int("cores", 1, "base options CMP core count for figure endpoints (run requests set their own)")
+		sharing     = flag.String("sharing", "", "base options CMP sharing pattern: private|producer-consumer|migratory|read-mostly")
 		coordinator = flag.Bool("coordinator", false, "run as a fleet coordinator (routes runs, simulates nothing)")
 		join        = flag.String("join", "", "coordinator base URL to register with as a worker")
 		advertise   = flag.String("advertise", "", "base URL peers reach this worker at (default http://<bound addr>)")
@@ -84,6 +86,14 @@ func main() {
 	if *quick {
 		base.WarmInstructions = 2_000_000
 		base.RunInstructions = 200_000
+	}
+	if *cores < 1 {
+		log.Fatalf("tlcd: -cores %d: need at least 1", *cores)
+	}
+	base.Cores = *cores
+	base.Sharing = tlc.SharingSpec{Pattern: *sharing}
+	if err := base.Validate(); err != nil {
+		log.Fatalf("tlcd: %v", err)
 	}
 
 	cfg := server.Config{

@@ -117,7 +117,10 @@ func main() {
 		opt.RunInstructions = *runN
 	}
 	opt.WarmInstructions = *warmN
-	accel.Apply(&opt)
+	if err := accel.Apply(&opt); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	s := experiments.NewSuite(opt)
 	start := time.Now()

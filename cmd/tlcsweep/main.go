@@ -5,6 +5,7 @@
 //	tlcsweep -memory        # execution time vs memory model (flat vs DRAM)
 //	tlcsweep -seeds         # seed robustness of the headline comparisons
 //	tlcsweep -geometry      # width x length signal-integrity acceptance
+//	tlcsweep -contention    # CMP: cycles + coherence traffic vs core count
 //	tlcsweep -bench mcf     # benchmark for the simulation sweeps
 //	tlcsweep -par 8         # simulation parallelism (local execution)
 //	tlcsweep -quick         # shorter runs (tlctables -quick lengths)
@@ -65,14 +66,16 @@ type runSpec struct {
 	opt    tlc.Options
 }
 
-// runGrid executes a sweep grid and returns results plus per-point host
-// wall times (milliseconds) in spec order — in process by default (bounded
-// by -par), as one streaming POST /v1/sweeps under -remote. Results land by
-// index, so rendering is independent of completion order and byte-identical
-// across all execution paths; wall times are local measurements (or the
-// server's, under -remote) and feed only the -json timing report, never the
-// rendered tables.
-var runGrid func(specs []runSpec) ([]tlc.Result, []float64, error)
+// runGrid executes a sweep grid and returns results, full metric-registry
+// snapshots, and per-point host wall times (milliseconds) in spec order —
+// in process by default (bounded by -par), as one streaming POST /v1/sweeps
+// under -remote. Results land by index, so rendering is independent of
+// completion order and byte-identical across all execution paths; the
+// snapshots carry counters the flat Result does not (the contention sweep
+// reads coherence traffic from them), and wall times are local measurements
+// (or the server's, under -remote) feeding only the -json timing report,
+// never the rendered tables.
+var runGrid func(specs []runSpec) ([]tlc.Result, []tlc.MetricsSnapshot, []float64, error)
 
 // timing collects the -json report: per-grid-point wall times (so
 // lane-grouping wins are visible point by point, not just in the
@@ -148,6 +151,7 @@ func main() {
 	memoryF := flag.Bool("memory", false, "flat vs banked-DRAM memory sweep")
 	seedsF := flag.Bool("seeds", false, "seed robustness sweep")
 	geometryF := flag.Bool("geometry", false, "transmission-line geometry acceptance")
+	contentionF := flag.Bool("contention", false, "CMP contention sweep: cycles and coherence traffic vs core count")
 	quick := flag.Bool("quick", false, "shorter runs: 2M warm / 200K timed instructions")
 	remote := flag.String("remote", "", "run simulations on a tlcd server or fleet coordinator at this base URL")
 	accel := cliopt.Register()
@@ -160,7 +164,9 @@ func main() {
 			opt.WarmInstructions = 2_000_000
 			opt.RunInstructions = 200_000
 		}
-		accel.Apply(&opt)
+		if err := accel.Apply(&opt); err != nil {
+			log.Fatal(err)
+		}
 		opt.Checkpoints = store
 		return opt
 	}
@@ -182,6 +188,10 @@ func main() {
 	}
 	if *geometryF {
 		geometrySweep()
+		any = true
+	}
+	if *contentionF {
+		contentionSweep(*bench)
 		any = true
 	}
 	if !any {
@@ -206,11 +216,11 @@ func main() {
 // suite per distinct option set (a suite keys its run cache by design and
 // benchmark only), all sharing the invocation's checkpoint store via
 // sweepOptions. Concurrency is bounded by -par.
-func localGrid() func([]runSpec) ([]tlc.Result, []float64, error) {
+func localGrid() func([]runSpec) ([]tlc.Result, []tlc.MetricsSnapshot, []float64, error) {
 	var mu sync.Mutex
 	suites := make(map[string]*experiments.Suite)
 	planner := experiments.NewLanePlanner()
-	run := func(s runSpec) (tlc.Result, error) {
+	run := func(s runSpec) (tlc.Result, tlc.MetricsSnapshot, error) {
 		key := s.opt.ContentKey()
 		mu.Lock()
 		suite, ok := suites[key]
@@ -219,9 +229,14 @@ func localGrid() func([]runSpec) ([]tlc.Result, []float64, error) {
 			suites[key] = suite
 		}
 		mu.Unlock()
-		return suite.RunErr(s.design, s.bench)
+		res, err := suite.RunErr(s.design, s.bench)
+		if err != nil {
+			return res, nil, err
+		}
+		snap, _ := suite.RunMetrics(s.design, s.bench)
+		return res, snap, nil
 	}
-	return func(specs []runSpec) ([]tlc.Result, []float64, error) {
+	return func(specs []runSpec) ([]tlc.Result, []tlc.MetricsSnapshot, []float64, error) {
 		// Lane phase: grid points sharing a workload stream (every spec
 		// here shares the invocation's checkpoint store) warm once through
 		// a lane-parallel pass; the runs below then restore instead of
@@ -247,19 +262,20 @@ func localGrid() func([]runSpec) ([]tlc.Result, []float64, error) {
 		mu.Unlock()
 
 		results := make([]tlc.Result, len(specs))
+		snaps := make([]tlc.MetricsSnapshot, len(specs))
 		walls := make([]float64, len(specs))
 		errs := make([]error, len(specs))
 		grid(len(specs), func(i int) {
 			start := time.Now()
-			results[i], errs[i] = run(specs[i])
+			results[i], snaps[i], errs[i] = run(specs[i])
 			walls[i] = float64(time.Since(start).Microseconds()) / 1000
 		})
 		for _, err := range errs {
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 		}
-		return results, walls, nil
+		return results, snaps, walls, nil
 	}
 }
 
@@ -268,12 +284,12 @@ func localGrid() func([]runSpec) ([]tlc.Result, []float64, error) {
 // index as they complete. Identical configurations coalesce and cache
 // server-side; records embed the complete tlc.Result, so the sweeps render
 // exactly what a local run produces.
-func remoteGrid(base string) func([]runSpec) ([]tlc.Result, []float64, error) {
+func remoteGrid(base string) func([]runSpec) ([]tlc.Result, []tlc.MetricsSnapshot, []float64, error) {
 	c := client.New(base, &http.Client{})
 	if err := c.Health(context.Background()); err != nil {
 		log.Fatalf("tlcsweep: -remote %s: %v", base, err)
 	}
-	return func(specs []runSpec) ([]tlc.Result, []float64, error) {
+	return func(specs []runSpec) ([]tlc.Result, []tlc.MetricsSnapshot, []float64, error) {
 		sreq := api.SweepRequest{Points: make([]api.RunRequest, len(specs))}
 		for i, s := range specs {
 			sreq.Points[i] = api.RunRequest{
@@ -283,6 +299,7 @@ func remoteGrid(base string) func([]runSpec) ([]tlc.Result, []float64, error) {
 			}
 		}
 		results := make([]tlc.Result, len(specs))
+		snaps := make([]tlc.MetricsSnapshot, len(specs))
 		walls := make([]float64, len(specs))
 		got := 0
 		err := c.Sweep(context.Background(), sreq, func(p api.SweepPoint) error {
@@ -298,17 +315,18 @@ func remoteGrid(base string) func([]runSpec) ([]tlc.Result, []float64, error) {
 				return fmt.Errorf("sweep point %s/%s: %w", s.design, s.bench, err)
 			}
 			results[p.Index] = res
+			snaps[p.Index] = p.Record.Metrics
 			walls[p.Index] = p.Record.WallMS
 			got++
 			return nil
 		})
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		if got != len(specs) {
-			return nil, nil, fmt.Errorf("sweep stream ended after %d of %d points", got, len(specs))
+			return nil, nil, nil, fmt.Errorf("sweep stream ended after %d of %d points", got, len(specs))
 		}
-		return results, walls, nil
+		return results, snaps, walls, nil
 	}
 }
 
@@ -346,7 +364,7 @@ func memorySweep(bench string) {
 		specs = append(specs, runSpec{designs[i%len(designs)], bench, opt})
 	}
 	start := time.Now()
-	results, walls, err := runGrid(specs)
+	results, _, walls, err := runGrid(specs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -384,7 +402,7 @@ func seedSweep(bench string) {
 		specs = append(specs, runSpec{designs[i/len(seeds)], bench, opt})
 	}
 	start := time.Now()
-	results, walls, err := runGrid(specs)
+	results, _, walls, err := runGrid(specs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -405,6 +423,37 @@ func seedSweep(bench string) {
 			lookup.Mean, fmt.Sprintf("%.2f%%", lookup.Spread()*100))
 	}
 	fmt.Println(t)
+}
+
+// contentionSweep renders the CMP contention figure through the sweep
+// grid: all six designs at 1, 2, and 4 cores on one benchmark, with the
+// sharing pattern taken from the -sharing flags. The grid goes through
+// runGrid, so the figure computes identically in process and against a
+// tlcd server or fleet (-remote); coherence traffic comes from the
+// per-point metric snapshots, which the service embeds in its records.
+func contentionSweep(bench string) {
+	points := experiments.ContentionGrid(tlc.Designs(), experiments.ContentionCoreCounts())
+	specs := make([]runSpec, len(points))
+	for i, p := range points {
+		opt := sweepOptions()
+		opt.Cores = p.Cores
+		specs[i] = runSpec{p.Design, bench, opt}
+	}
+	start := time.Now()
+	results, snaps, walls, err := runGrid(specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	timings.recordGrid("contention", specs, results, walls, time.Since(start))
+
+	for i := range points {
+		points[i].Result = results[i]
+		points[i].Metrics = snaps[i]
+	}
+	fmt.Println(experiments.ContentionTable(bench, points))
+	fmt.Println("Slowdown normalizes each design's cycles to its own 1-core run: the")
+	fmt.Println("cost of sharing the L2 — arbitration plus MSI coherence — as cores grow.")
+	fmt.Println()
 }
 
 func geometrySweep() {

@@ -7,10 +7,13 @@
 //	tlctables -par 8     # simulation parallelism
 //	tlctables -v         # per-run wall-clock progress on stderr
 //	tlctables -only fig5 # one experiment: table1|table2|table6|table7|
-//	                     # table8|table9|fig3|fig5|fig6|fig7|fig8
+//	                     # table8|table9|fig3|fig5|fig6|fig7|fig8|contention
 //	tlctables -ckptdir ~/.tlc-ckpt   # reuse warm state across invocations
 //	tlctables -sample 50             # sampled runs; figures gain ± columns
 //	tlctables -metrics metrics.json  # full registry dump for every run
+//	tlctables -only contention -bench mcf -sharing producer-consumer
+//	                     # CMP contention figure: cycles + coherence traffic
+//	                     # vs core count (1, 2, 4) on all six designs
 //
 // Simulation runs are deterministic and independent per (design,
 // benchmark) key, so stdout is byte-identical for every -par value;
@@ -35,8 +38,9 @@ func main() {
 	quick := flag.Bool("quick", false, "fast sanity pass (200K timed instructions)")
 	par := flag.Int("par", runtime.NumCPU(), "simulation parallelism")
 	verbose := flag.Bool("v", false, "per-run wall-clock progress on stderr")
-	only := flag.String("only", "", "run a single experiment (e.g. fig5, table9)")
+	only := flag.String("only", "", "run a single experiment (e.g. fig5, table9, contention)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	bench := flag.String("bench", "mcf", "benchmark for the contention figure")
 	accel := cliopt.Register()
 	flag.Parse()
 
@@ -49,7 +53,10 @@ func main() {
 		opt.RunInstructions = 200_000
 		opt.WarmInstructions = 2_000_000
 	}
-	accel.Apply(&opt)
+	if err := accel.Apply(&opt); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	s := experiments.NewSuite(opt)
 	if *verbose {
 		s.OnRun = func(ev experiments.RunEvent) {
@@ -71,6 +78,18 @@ func main() {
 		"fig6":   func() string { return s.Figure6().String() },
 		"fig7":   func() string { return s.Figure7().String() },
 		"fig8":   func() string { return s.Figure8().String() },
+		// The contention figure runs its own (design x core-count) grid —
+		// core counts vary per cell, which the per-options suite cannot
+		// cache — so it bypasses s and needs no prefetch.
+		"contention": func() string {
+			t, err := experiments.Contention(opt, tlc.Designs(), *bench,
+				experiments.ContentionCoreCounts(), *par)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return t.String()
+		},
 	}
 
 	if *only != "" {
@@ -112,7 +131,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "simulation done in %v (%d runs, %v of simulation)\n\n",
 		time.Since(start).Round(time.Second), m.Simulated, m.SimWall.Round(time.Second))
 
-	for _, name := range []string{"table6", "fig5", "fig6", "table9", "fig7", "fig8"} {
+	for _, name := range []string{"table6", "fig5", "fig6", "table9", "fig7", "fig8", "contention"} {
 		fmt.Println(simulated[name]())
 	}
 	if err := accel.WriteMetrics(); err != nil {

@@ -1,0 +1,222 @@
+package tlc
+
+// CMP execution: Options.Cores >= 2 runs N cores as peers over the shared
+// L2 design through internal/machine — per-core NOC injection ports, a
+// controller frontier arbitrating the interleaved miss streams onto the
+// design's monotone-time calendars, and an MSI directory keeping the
+// private L1s coherent. Single-core runs never enter this file: RunSpec
+// routes here only when cores() > 1, which is what keeps N=1 bit-identical
+// to the pre-CMP path (TestCMPSingleCoreEquivalence).
+
+import (
+	"fmt"
+
+	"tlc/internal/config"
+	"tlc/internal/cpu"
+	"tlc/internal/l2"
+	"tlc/internal/machine"
+	"tlc/internal/sample"
+	"tlc/internal/snapshot"
+	"tlc/internal/stats"
+	"tlc/internal/workload"
+)
+
+// prepareCMP builds an N-core machine for a run and brings it to
+// measured-interval start, the CMP counterpart of prepare: N cores over
+// the shared design, post-warm caches, a seeded coherence directory, and
+// every per-core stream positioned (and reseeded) for the timed run.
+// Checkpoints restore the whole machine — all cores, all streams, the L2,
+// and the directory — or re-warm and store it.
+func prepareCMP(d Design, spec workload.Spec, opt Options) (l2.Instrumented, *machine.Machine, error) {
+	sys := config.DefaultSystem()
+	n := opt.cores()
+	inst := build(d, opt)
+	warmSeed, warm := warmPlan(spec, opt)
+	shd := machine.NewShared(inst, n)
+	cores := make([]*cpu.Core, n)
+	streams := make([]cpu.Stream, n)
+	gens := make([]*workload.CMPStream, n)
+	for i := 0; i < n; i++ {
+		gens[i] = workload.NewCMPStream(spec, warmSeed, i, opt.Sharing)
+		streams[i] = gens[i]
+		cores[i] = cpu.New(sys, shd.Port(i))
+		cores[i].SetCancel(opt.Cancel)
+	}
+	shd.Attach(cores)
+	m := machine.New(cores, streams, shd)
+
+	// The design's registry becomes the run's: per-core counters under
+	// "core.<i>.", machine-wide aggregates under the plain names the
+	// single-core tooling reads, coherence and arbitration under "coh." /
+	// "cmp.arb." / "noc.port.".
+	reg := inst.Metrics()
+	for i := range cores {
+		prefix := fmt.Sprintf("core.%d.", i)
+		cores[i].RegisterMetricsPrefixed(reg, prefix)
+		gens[i].RegisterMetricsPrefixed(reg, prefix)
+	}
+	cpu.RegisterMetricsSum(reg, cores)
+	workload.RegisterMetricsSum(reg, gens)
+	shd.RegisterMetrics(reg)
+
+	key := snapshot.Key{Config: configHash(d, spec, opt.cmpConfig()), Bench: spec.Name, Seed: warmSeed, Warm: warm}
+	restored := false
+	if opt.Checkpoints != nil {
+		if ckp, ok := opt.Checkpoints.Get(key); ok {
+			restored = restoreCMPCheckpoint(ckp, cores, inst, gens, shd)
+		}
+	}
+	if !restored {
+		for i := range gens {
+			gens[i].PreWarm(inst)
+		}
+		m.Warm(warm)
+		if err := m.CancelErr(); err != nil {
+			return nil, nil, fmt.Errorf("tlc: %v %s warm-up cancelled: %w", d, spec.Name, err)
+		}
+		if opt.Checkpoints != nil {
+			if snap, ok := inst.(l2.Snapshotter); ok {
+				cs := make([]cpu.State, n)
+				gs := make([]workload.CMPState, n)
+				for i := range cores {
+					cs[i] = cores[i].Snapshot()
+					gs[i] = gens[i].State()
+				}
+				opt.Checkpoints.Put(key, snapshot.Checkpoint{
+					// Core 0's view rides in the single-core fields so the
+					// envelope stays coherent to older readers; CMP is the
+					// provenance flag restore gates on.
+					Core: cs[0],
+					L2:   snap.SnapshotState(),
+					Gen:  gs[0].Gen,
+					CMP:  &snapshot.CMPCheckpoint{Cores: cs, Gens: gs, Dir: shd.DirectorySnapshot()},
+				})
+			}
+		}
+	}
+	if opt.Seed != warmSeed {
+		for i := range gens {
+			gens[i].Reseed(opt.Seed)
+		}
+	}
+	for i := range gens {
+		gens[i].ResetCounters()
+	}
+	return inst, m, nil
+}
+
+// restoreCMPCheckpoint applies a stored CMP checkpoint. A single-core
+// checkpoint (nil CMP — the provenance flag) or one from a machine of a
+// different width is a miss, falling back to re-warming, exactly as the
+// lanes Has probe gates lane reuse.
+func restoreCMPCheckpoint(ckp snapshot.Checkpoint, cores []*cpu.Core, c l2.Cache, gens []*workload.CMPStream, shd *machine.Shared) bool {
+	if ckp.CMP == nil || len(ckp.CMP.Cores) != len(cores) || len(ckp.CMP.Gens) != len(gens) {
+		return false
+	}
+	snap, ok := c.(l2.Snapshotter)
+	if !ok {
+		return false
+	}
+	for i := range cores {
+		if err := cores[i].Restore(ckp.CMP.Cores[i]); err != nil {
+			return false
+		}
+	}
+	if err := snap.RestoreState(ckp.L2); err != nil {
+		return false
+	}
+	for i := range gens {
+		gens[i].SetState(ckp.CMP.Gens[i])
+	}
+	shd.RestoreDirectory(ckp.CMP.Dir)
+	return true
+}
+
+// runSpecCMP is RunSpec's N-core arm: the machine times RunInstructions
+// per core, and the Result reports machine-wide totals — Instructions
+// summed over cores, Cycles the machine finish time (the latest core's
+// clock), IPC their ratio.
+func runSpecCMP(d Design, spec workload.Spec, opt Options) (Result, error) {
+	inst, m, err := prepareCMP(d, spec, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	cr := m.Run(opt.RunInstructions)
+	if err := m.CancelErr(); err != nil {
+		return Result{}, fmt.Errorf("tlc: %v %s run cancelled: %w", d, spec.Name, err)
+	}
+	res := assemble(d, spec.Name, inst.Metrics(), cr.Instructions, cr.Cycles)
+	res.Instructions = cr.Instructions
+	res.Cycles = uint64(cr.Cycles)
+	res.IPC = cr.IPC()
+	emitMetrics(d, spec.Name, inst, cr.Cycles, opt)
+	return res, nil
+}
+
+// runSpecCMPSampled is RunSpecSampled's N-core arm: the machine implements
+// sample.Target, so the interval math is shared — RunInstructions and
+// SampleLength count instructions per core, per-interval CPI is machine
+// cycles per per-core instruction, and the registry-wide counter deltas
+// normalize per 1K executed instructions (all cores).
+func runSpecCMPSampled(d Design, spec workload.Spec, opt Options) (SampledResult, error) {
+	sopt := opt.SampleOptions()
+	inst, m, err := prepareCMP(d, spec, opt)
+	if err != nil {
+		return SampledResult{}, err
+	}
+	reg := inst.Metrics()
+	n := uint64(opt.cores())
+
+	st := inst.L2Stats()
+	var lookup, missRate stats.Sample
+	var prevLookupSum, prevLookupCount, prevMisses uint64
+	names := reg.CounterNames()
+	counterSamples := make([]stats.Sample, len(names))
+	prevVals := make([]uint64, len(names))
+	curVals := make([]uint64, 0, len(names))
+	prevVals = reg.AppendCounterValues(prevVals[:0], names)
+	est := sample.RunTarget(m, opt.RunInstructions, sopt, func(iv sample.Interval) {
+		dSum := st.Lookup.Sum() - prevLookupSum
+		dCount := st.Lookup.Count() - prevLookupCount
+		dMiss := st.Misses.Value() - prevMisses
+		prevLookupSum, prevLookupCount, prevMisses = st.Lookup.Sum(), st.Lookup.Count(), st.Misses.Value()
+		if dCount > 0 {
+			lookup.Observe(float64(dSum) / float64(dCount))
+		}
+		missRate.Observe(1000 * float64(dMiss) / float64(iv.Result.Instructions))
+		curVals = reg.AppendCounterValues(curVals[:0], names)
+		for i, v := range curVals {
+			counterSamples[i].Observe(1000 * float64(v-prevVals[i]) / float64(iv.Result.Instructions))
+		}
+		prevVals, curVals = curVals, prevVals
+	})
+
+	if err := m.CancelErr(); err != nil {
+		return SampledResult{}, fmt.Errorf("tlc: %v %s run cancelled: %w", d, spec.Name, err)
+	}
+	estCycles := est.Cycles()
+	totalInstr := opt.RunInstructions * n
+	detailedTotal := est.Detailed * n
+	res := assemble(d, spec.Name, reg, detailedTotal, est.FinalClock)
+	res.Instructions = totalInstr
+	res.Cycles = uint64(estCycles + 0.5)
+	res.L2Loads = scaleCount(res.L2Loads, totalInstr, detailedTotal)
+	res.L2Stores = scaleCount(res.L2Stores, totalInstr, detailedTotal)
+	if estCycles > 0 {
+		res.IPC = float64(totalInstr) / estCycles
+	}
+	mcis := make([]MetricCI, len(names))
+	for i, name := range names {
+		mcis[i] = MetricCI{Name: name, MeanPer1K: counterSamples[i].Mean(), CI95: counterSamples[i].CI95()}
+	}
+	emitMetrics(d, spec.Name, inst, est.FinalClock, opt)
+	return SampledResult{
+		Result:               res,
+		CyclesCI:             est.CyclesCI(),
+		MeanLookupCI:         lookup.CI95(),
+		MissesPer1KCI:        missRate.CI95(),
+		Intervals:            est.Intervals,
+		DetailedInstructions: detailedTotal,
+		Metrics:              mcis,
+	}, nil
+}

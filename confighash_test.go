@@ -79,9 +79,13 @@ func TestConfigHashCoversEveryParameter(t *testing.T) {
 	}
 	np := config.NUCAFor(config.DNUCA) // non-zero so nested mesh slices have elements
 	tp := config.TLCFor(config.TLC)
+	// Non-zero CMP axis so every coherence/sharing field has perturbable
+	// content (the reflection walk covers Cores, Protocol, and the three
+	// SharingSpec fields).
+	cm := CMPConfig{Cores: 4, Protocol: "MSI", Sharing: SharingSpec{Pattern: "migratory", SharedMB: 2, SharedFrac: 0.25}}
 
-	base := configHashOf(d, sys, spec, np, tp)
-	if again := configHashOf(d, sys, spec, np, tp); again != base {
+	base := configHashOf(d, sys, spec, np, tp, cm)
+	if again := configHashOf(d, sys, spec, np, tp, cm); again != base {
 		t.Fatalf("configHashOf is not deterministic: %s vs %s", base, again)
 	}
 
@@ -98,19 +102,22 @@ func TestConfigHashCoversEveryParameter(t *testing.T) {
 	}
 
 	perturbLeaves(reflect.ValueOf(&sys).Elem(), "System", func(label string) {
-		check(label, configHashOf(d, sys, spec, np, tp))
+		check(label, configHashOf(d, sys, spec, np, tp, cm))
 	})
 	perturbLeaves(reflect.ValueOf(&spec).Elem(), "Spec", func(label string) {
-		check(label, configHashOf(d, sys, spec, np, tp))
+		check(label, configHashOf(d, sys, spec, np, tp, cm))
 	})
 	perturbLeaves(reflect.ValueOf(&np).Elem(), "NUCAParams", func(label string) {
-		check(label, configHashOf(d, sys, spec, np, tp))
+		check(label, configHashOf(d, sys, spec, np, tp, cm))
 	})
 	perturbLeaves(reflect.ValueOf(&tp).Elem(), "TLCParams", func(label string) {
-		check(label, configHashOf(d, sys, spec, np, tp))
+		check(label, configHashOf(d, sys, spec, np, tp, cm))
+	})
+	perturbLeaves(reflect.ValueOf(&cm).Elem(), "CMPConfig", func(label string) {
+		check(label, configHashOf(d, sys, spec, np, tp, cm))
 	})
 
-	check("Design", configHashOf(DesignSNUCA2, sys, spec, np, tp))
+	check("Design", configHashOf(DesignSNUCA2, sys, spec, np, tp, cm))
 }
 
 // TestConfigHashSliceBoundaries asserts the length-prefixed slice encoding
@@ -134,8 +141,9 @@ func TestConfigHashSliceBoundaries(t *testing.T) {
 	b.Mesh.VertReqLat = []sim.Time{1, 2}
 	b.Mesh.VertRespLat = []sim.Time{3, 4, 5}
 
-	ha := configHashOf(d, sys, spec, a, tp)
-	hb := configHashOf(d, sys, spec, b, tp)
+	cm := singleCoreCMP()
+	ha := configHashOf(d, sys, spec, a, tp, cm)
+	hb := configHashOf(d, sys, spec, b, tp, cm)
 	if ha == hb {
 		t.Fatalf("slice boundary move did not change the config hash (%s)", ha)
 	}
@@ -151,7 +159,7 @@ func TestConfigHashDistinctPerDesign(t *testing.T) {
 	}
 	hashes := map[string]Design{}
 	for _, d := range Designs() {
-		h := configHash(d, spec)
+		h := configHash(d, spec, singleCoreCMP())
 		if prev, ok := hashes[h]; ok {
 			t.Errorf("designs %v and %v share config hash %s", prev, d, h)
 		}

@@ -26,6 +26,15 @@ type RunOptions struct {
 	BitErrorRate     float64 `json:"bit_error_rate,omitempty"`
 	SampleIntervals  int     `json:"sample_intervals,omitempty"`
 	SampleLength     uint64  `json:"sample_length,omitempty"`
+
+	// CMP axis: Cores 0 or 1 is the single-core machine (bit-identical to
+	// requests that never set it); 2..64 runs N cores over the shared L2
+	// with MSI-coherent private L1s. The sharing fields shape the cross-core
+	// reference pattern and are meaningful only when Cores > 1.
+	Cores          int     `json:"cores,omitempty"`
+	SharingPattern string  `json:"sharing_pattern,omitempty"`
+	SharedMB       float64 `json:"shared_mb,omitempty"`
+	SharedFrac     float64 `json:"shared_frac,omitempty"`
 }
 
 // Options expands the wire options into a runnable tlc.Options, applying
@@ -48,6 +57,12 @@ func (o RunOptions) Options() tlc.Options {
 	if o.SampleLength != 0 {
 		opt.SampleLength = o.SampleLength
 	}
+	opt.Cores = o.Cores
+	opt.Sharing = tlc.SharingSpec{
+		Pattern:    o.SharingPattern,
+		SharedMB:   o.SharedMB,
+		SharedFrac: o.SharedFrac,
+	}
 	return opt
 }
 
@@ -62,6 +77,10 @@ func FromOptions(opt tlc.Options) RunOptions {
 		BitErrorRate:     opt.BitErrorRate,
 		SampleIntervals:  opt.SampleIntervals,
 		SampleLength:     opt.SampleLength,
+		Cores:            opt.Cores,
+		SharingPattern:   opt.Sharing.Pattern,
+		SharedMB:         opt.Sharing.SharedMB,
+		SharedFrac:       opt.Sharing.SharedFrac,
 	}
 }
 
@@ -72,18 +91,28 @@ type RunRequest struct {
 	Options   RunOptions `json:"options"`
 }
 
-// Validate resolves the design name and checks the benchmark exists.
+// Validate resolves the design name, checks the benchmark exists, and
+// rejects impossible CMP options (core count out of 1..64, unknown sharing
+// pattern) with the same one-line errors a local run would produce.
 func (r RunRequest) Validate() (tlc.Design, error) {
 	d, err := ParseDesign(r.Design)
 	if err != nil {
 		return d, err
 	}
+	known := false
 	for _, b := range tlc.Benchmarks() {
 		if b == r.Benchmark {
-			return d, nil
+			known = true
+			break
 		}
 	}
-	return d, fmt.Errorf("api: unknown benchmark %q", r.Benchmark)
+	if !known {
+		return d, fmt.Errorf("api: unknown benchmark %q", r.Benchmark)
+	}
+	if err := r.Options.Options().Validate(); err != nil {
+		return d, err
+	}
+	return d, nil
 }
 
 // Key is the run's content address: equal keys name bit-identical results.

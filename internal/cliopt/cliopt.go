@@ -1,7 +1,7 @@
 // Package cliopt registers the simulation-accelerator and observability
 // flags shared by the run-capable commands (tlcsim, tlcbench, tlcsweep,
-// tlctables): warm-state checkpointing, SMARTS-style sampled execution, and
-// full metric-registry dumps.
+// tlctables): warm-state checkpointing, SMARTS-style sampled execution,
+// full metric-registry dumps, and the CMP axis (-cores, -sharing).
 package cliopt
 
 import (
@@ -28,13 +28,21 @@ type Flags struct {
 	// snapshot and writes them as JSON to this file ("-" for stdout) when
 	// WriteMetrics is called.
 	Metrics string
+	// Cores is the CMP core count: 1 is the single-core machine, 2..64 run
+	// N cores over the shared L2 with MSI-coherent private L1s.
+	Cores int
+	// Sharing is the CMP sharing pattern name; SharedMB and SharedFrac are
+	// its shared-region knobs (0 = pattern default).
+	Sharing    string
+	SharedMB   float64
+	SharedFrac float64
 
 	mu     sync.Mutex
 	events []tlc.MetricsEvent
 }
 
-// Register installs -ckptdir, -sample, -samplelen, and -metrics on the
-// default flag set. Call before flag.Parse.
+// Register installs -ckptdir, -sample, -samplelen, -metrics, -cores, and
+// the -sharing knobs on the default flag set. Call before flag.Parse.
 func Register() *Flags {
 	f := &Flags{}
 	flag.StringVar(&f.CkptDir, "ckptdir", "",
@@ -45,16 +53,35 @@ func Register() *Flags {
 		"instructions per detailed interval in sampled mode")
 	flag.StringVar(&f.Metrics, "metrics", "",
 		"dump every run's full metric registry as JSON to this file ('-' for stdout)")
+	flag.IntVar(&f.Cores, "cores", 1,
+		"CMP core count: N cores share the L2 through an MSI directory (1 = the single-core machine)")
+	flag.StringVar(&f.Sharing, "sharing", "",
+		"CMP sharing pattern: private|producer-consumer|migratory|read-mostly (default private)")
+	flag.Float64Var(&f.SharedMB, "sharedmb", 0,
+		"shared-region footprint in MB for CMP sharing patterns (0 = pattern default)")
+	flag.Float64Var(&f.SharedFrac, "sharedfrac", 0,
+		"fraction of references aimed at the shared region (0 = pattern default)")
 	return f
 }
 
 // Apply wires the parsed flags into opt: a -ckptdir attaches a disk-backed
 // checkpoint store (runs sharing a warm prefix skip warm-up, bit-identically),
-// -sample/-samplelen select the sampled interval plan, and -metrics chains a
-// collector onto OnMetrics (a hook already present keeps firing after it).
-// Apply may be called on several Options values (one suite per memory model,
-// say); all their runs collect into the same dump.
-func (f *Flags) Apply(opt *tlc.Options) {
+// -sample/-samplelen select the sampled interval plan, -cores/-sharing set
+// the CMP axis, and -metrics chains a collector onto OnMetrics (a hook
+// already present keeps firing after it). Apply may be called on several
+// Options values (one suite per memory model, say); all their runs collect
+// into the same dump. The returned error rejects impossible CMP flags — a
+// core count outside 1..64 or an unknown sharing pattern — with a one-line
+// message for the caller to print and exit on.
+func (f *Flags) Apply(opt *tlc.Options) error {
+	if f.Cores < 1 {
+		return fmt.Errorf("cliopt: -cores %d: need at least 1", f.Cores)
+	}
+	opt.Cores = f.Cores
+	opt.Sharing = tlc.SharingSpec{Pattern: f.Sharing, SharedMB: f.SharedMB, SharedFrac: f.SharedFrac}
+	if err := opt.Validate(); err != nil {
+		return err
+	}
 	if f.CkptDir != "" {
 		opt.Checkpoints = tlc.NewCheckpointStore(0, f.CkptDir)
 	}
@@ -73,6 +100,7 @@ func (f *Flags) Apply(opt *tlc.Options) {
 			}
 		}
 	}
+	return nil
 }
 
 // runMetricsJSON is the per-run shape of the -metrics dump.
@@ -105,7 +133,13 @@ func (f *Flags) WriteMetrics() error {
 		if out[i].Design != out[j].Design {
 			return out[i].Design < out[j].Design
 		}
-		return out[i].Benchmark < out[j].Benchmark
+		if out[i].Benchmark != out[j].Benchmark {
+			return out[i].Benchmark < out[j].Benchmark
+		}
+		// A (design, benchmark) pair can run more than once per invocation
+		// (the contention grid sweeps core counts); cycles break the tie so
+		// the dump order never depends on run completion order.
+		return out[i].Cycles < out[j].Cycles
 	})
 
 	w := os.Stdout

@@ -118,10 +118,27 @@ func (r Result) IPC() float64 {
 	return float64(r.Instructions) / float64(r.Cycles)
 }
 
+// Coherence is the bus-side hook a CMP coherence layer installs on each
+// core: the core reports every store (the BusRdX / upgrade moment — the
+// writer must gain exclusive ownership) so the directory can invalidate
+// remote L1 copies. Loads need no hook: load misses reach the shared L2
+// through Access carrying the core id (BusRd), and load hits touch only
+// lines this L1 already holds in a readable state.
+type Coherence interface {
+	StoreNotify(core int, b mem.Block)
+}
+
 // Core drives a Stream against an L2 design.
 type Core struct {
 	sys config.System
 	l2  l2.Cache
+
+	// id is this core's CMP core index, stamped on every L2 request.
+	// Single-core runs leave it zero.
+	id int
+	// coh, when non-nil, observes every store for MSI upgrade handling.
+	// Nil on single-core runs: the hook costs one nil-check per store.
+	coh Coherence
 
 	l1 *cache.SetAssoc
 	// dirty[idx] is the dirty bit of L1 line idx (set*assoc+way): per-way
@@ -209,6 +226,57 @@ func New(sys config.System, l2c l2.Cache) *Core {
 	}
 }
 
+// SetCoherence installs the MSI hook with this core's CMP core index. The
+// machine layer calls it once per core after warm-up; single-core runs
+// never do, keeping the default path free of coherence work beyond a
+// nil-check per store.
+func (c *Core) SetCoherence(id int, h Coherence) {
+	c.id = id
+	c.coh = h
+}
+
+// Invalidate removes b from the L1 (a remote BusRdX hitting this core's
+// copy) and reports whether the line was present and whether it was dirty.
+// The dirty bit clears with the line; the caller accounts the writeback.
+func (c *Core) Invalidate(b mem.Block) (present, wasDirty bool) {
+	way, ok := c.l1.WayOf(b)
+	if !ok {
+		return false, false
+	}
+	idx := b.SetIndex(c.l1.Sets())*c.l1.Assoc() + way
+	wasDirty = c.dirty[idx] != 0
+	c.dirty[idx] = 0
+	c.l1.Remove(b)
+	return true, wasDirty
+}
+
+// Downgrade clears b's dirty bit (a remote BusRd demoting this core's M
+// copy to S) and reports whether the line was present and dirty. The line
+// itself stays resident and readable.
+func (c *Core) Downgrade(b mem.Block) (present, wasDirty bool) {
+	way, ok := c.l1.WayOf(b)
+	if !ok {
+		return false, false
+	}
+	idx := b.SetIndex(c.l1.Sets())*c.l1.Assoc() + way
+	wasDirty = c.dirty[idx] != 0
+	c.dirty[idx] = 0
+	return true, wasDirty
+}
+
+// VisitL1 calls fn for every valid L1 line with its dirty bit. The machine
+// layer seeds the coherence directory from post-warm L1 contents with it;
+// iteration order is deterministic (set-major, way order).
+func (c *Core) VisitL1(fn func(b mem.Block, dirty bool)) {
+	var buf []cache.Line
+	for set := 0; set < c.l1.Sets(); set++ {
+		buf = c.l1.AppendLinesIn(buf[:0], set)
+		for _, ln := range buf {
+			fn(ln.Block, c.dirty[set*c.l1.Assoc()+ln.Way] != 0)
+		}
+	}
+}
+
 // SetCancel installs a cooperative cancellation check, polled at batch
 // boundaries by Warm and the timed run loops. When fn returns a non-nil
 // error the current loop stops early and CancelErr reports it; the machine
@@ -237,14 +305,44 @@ func (c *Core) cancelled() bool {
 // "cpu.". The counters cover the current timing epoch: they reset with the
 // pipeline in RunFrom, and accumulate across Resume calls.
 func (c *Core) RegisterMetrics(r *metrics.Registry) {
-	r.CounterFunc("cpu.l1d.hits", func() uint64 { return c.cum.l1dHits })
-	r.CounterFunc("cpu.l1d.misses", func() uint64 { return c.cum.l1dMisses })
-	r.CounterFunc("cpu.l2.loads", func() uint64 { return c.cum.l2Loads })
-	r.CounterFunc("cpu.l2.stores", func() uint64 { return c.cum.l2Stores })
-	r.CounterFunc("cpu.rob.stalls", func() uint64 { return c.cum.robStalls })
-	r.CounterFunc("cpu.sched.stalls", func() uint64 { return c.cum.schedStalls })
-	r.CounterFunc("cpu.mshr.waits", func() uint64 { return c.cum.mshrWaits })
-	r.CounterFunc("cpu.fetch.mispredicts", func() uint64 { return c.cum.mispredicts })
+	c.RegisterMetricsPrefixed(r, "")
+}
+
+// RegisterMetricsPrefixed is RegisterMetrics with the names prefixed — CMP
+// runs publish each core's counters under "core.<i>." so per-core traffic
+// stays attributable after aggregation.
+func (c *Core) RegisterMetricsPrefixed(r *metrics.Registry, prefix string) {
+	r.CounterFunc(prefix+"cpu.l1d.hits", func() uint64 { return c.cum.l1dHits })
+	r.CounterFunc(prefix+"cpu.l1d.misses", func() uint64 { return c.cum.l1dMisses })
+	r.CounterFunc(prefix+"cpu.l2.loads", func() uint64 { return c.cum.l2Loads })
+	r.CounterFunc(prefix+"cpu.l2.stores", func() uint64 { return c.cum.l2Stores })
+	r.CounterFunc(prefix+"cpu.rob.stalls", func() uint64 { return c.cum.robStalls })
+	r.CounterFunc(prefix+"cpu.sched.stalls", func() uint64 { return c.cum.schedStalls })
+	r.CounterFunc(prefix+"cpu.mshr.waits", func() uint64 { return c.cum.mshrWaits })
+	r.CounterFunc(prefix+"cpu.fetch.mispredicts", func() uint64 { return c.cum.mispredicts })
+}
+
+// RegisterMetricsSum publishes the summed counters of several cores under
+// the plain "cpu." names, so CMP runs keep the aggregate names single-core
+// tooling reads alongside the per-core "core.<i>.cpu." sets.
+func RegisterMetricsSum(r *metrics.Registry, cores []*Core) {
+	sum := func(read func(*Core) uint64) func() uint64 {
+		return func() uint64 {
+			var n uint64
+			for _, c := range cores {
+				n += read(c)
+			}
+			return n
+		}
+	}
+	r.CounterFunc("cpu.l1d.hits", sum(func(c *Core) uint64 { return c.cum.l1dHits }))
+	r.CounterFunc("cpu.l1d.misses", sum(func(c *Core) uint64 { return c.cum.l1dMisses }))
+	r.CounterFunc("cpu.l2.loads", sum(func(c *Core) uint64 { return c.cum.l2Loads }))
+	r.CounterFunc("cpu.l2.stores", sum(func(c *Core) uint64 { return c.cum.l2Stores }))
+	r.CounterFunc("cpu.rob.stalls", sum(func(c *Core) uint64 { return c.cum.robStalls }))
+	r.CounterFunc("cpu.sched.stalls", sum(func(c *Core) uint64 { return c.cum.schedStalls }))
+	r.CounterFunc("cpu.mshr.waits", sum(func(c *Core) uint64 { return c.cum.mshrWaits }))
+	r.CounterFunc("cpu.fetch.mispredicts", sum(func(c *Core) uint64 { return c.cum.mispredicts }))
 }
 
 // Batch-buffer capacities. streamBatch bounds one detailed-mode NextBatch
@@ -568,6 +666,12 @@ func (c *Core) accessL1(at sim.Time, b mem.Block, store bool) sim.Time {
 		c.cum.l1dHits++
 		if store {
 			c.dirty[idx] = 1
+			if c.coh != nil {
+				// BusRdX: a store to a possibly shared line must gain
+				// exclusive ownership before the write is architecturally
+				// visible; the invalidations run off the critical path.
+				c.coh.StoreNotify(c.id, b)
+			}
 		}
 		return at + c.sys.L1Latency
 	}
@@ -576,19 +680,24 @@ func (c *Core) accessL1(at sim.Time, b mem.Block, store bool) sim.Time {
 	if evicted && c.dirty[idx] != 0 {
 		// Dirty writeback to the L2 (the TLC "store" path: written
 		// without a tag comparison, fire-and-forget).
-		c.l2.Access(at, mem.Request{Block: victim, Type: mem.Store})
+		c.l2.Access(at, mem.Request{Block: victim, Type: mem.Store, Core: c.id})
 		c.res.L2Stores++
 		c.cum.l2Stores++
 	}
 	if store {
 		c.dirty[idx] = 1
+		if c.coh != nil {
+			// BusRdX on a store miss: write-allocate keeps the timing-only
+			// model, but ownership still transfers in the directory.
+			c.coh.StoreNotify(c.id, b)
+		}
 		// Write-allocate without fetch: timing-only model.
 		return at + c.sys.L1Latency
 	}
 	c.dirty[idx] = 0
 	// Load miss: bounded by the outstanding-request limit.
 	start := c.mshrAdmit(at)
-	out := c.l2.Access(start, mem.Request{Block: b, Type: mem.Load})
+	out := c.l2.Access(start, mem.Request{Block: b, Type: mem.Load, Core: c.id})
 	c.res.L2Loads++
 	c.cum.l2Loads++
 	c.mshrTrack(out.CompleteAt)

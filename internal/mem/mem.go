@@ -102,6 +102,10 @@ func (t AccessType) String() string {
 type Request struct {
 	Block Block
 	Type  AccessType
+	// Core identifies the requesting CMP core. Single-core runs leave it
+	// zero; the shared-L2 arbitration layer stamps it so designs and the
+	// coherence directory can attribute traffic per core.
+	Core int
 }
 
 // Result describes the outcome of one L2 access.

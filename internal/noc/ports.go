@@ -1,0 +1,91 @@
+package noc
+
+import (
+	"fmt"
+
+	"tlc/internal/metrics"
+	"tlc/internal/sim"
+)
+
+// Ports models the per-core injection points a CMP's cores use to reach
+// the shared L2 controller: each core owns a private link from its L1 miss
+// queue to the controller edge. The link is a contended single-server
+// resource (back-to-back misses from one core serialize at its port), and
+// cores sit at increasing distances from the controller's center tap —
+// core 0 adjacent, later cores one hop further per pair, mirroring the
+// mesh's symmetric spine placement. Arbitration among cores happens above,
+// at the controller (the shared-L2 frontier); Ports charges only each
+// core's private path.
+type Ports struct {
+	occ sim.Time
+	lat []sim.Time
+	res []sim.Resource
+
+	// Injections counts requests injected across all ports.
+	Injections uint64
+}
+
+// Port latencies: one cycle of port occupancy per injected request header,
+// one cycle per hop of controller-edge distance. These are fixed physical
+// constants of the floorplan, like the mesh segment latencies.
+const (
+	portOccupancy = sim.Time(1)
+	portHop       = sim.Time(1)
+)
+
+// NewPorts builds the injection ports for an N-core CMP.
+func NewPorts(cores int) *Ports {
+	if cores <= 0 {
+		panic(fmt.Sprintf("noc: %d cores", cores))
+	}
+	p := &Ports{
+		occ: portOccupancy,
+		lat: make([]sim.Time, cores),
+		res: make([]sim.Resource, cores),
+	}
+	for i := range p.lat {
+		// Symmetric placement around the controller tap: cores 1,2 one hop
+		// out, 3,4 two hops, ... Core 0 sits at the tap itself.
+		p.lat[i] = portHop * sim.Time((i+1)/2)
+	}
+	return p
+}
+
+// Cores reports the number of ports.
+func (p *Ports) Cores() int { return len(p.res) }
+
+// Inject serializes core's request at its private port starting no earlier
+// than `at` and returns when the request header reaches the controller
+// edge. Calls for one core must be in non-decreasing time order (the
+// resource calendar's monotone-time contract); different cores may
+// interleave freely.
+func (p *Ports) Inject(at sim.Time, core int) sim.Time {
+	p.Injections++
+	start := p.res[core].Reserve(at, p.occ)
+	return start + p.occ + p.lat[core]
+}
+
+// Waits sums queued injections over all ports.
+func (p *Ports) Waits() uint64 {
+	var n uint64
+	for i := range p.res {
+		n += p.res[i].Waits()
+	}
+	return n
+}
+
+// WaitCycles sums queuing delay over all ports.
+func (p *Ports) WaitCycles() sim.Time {
+	var t sim.Time
+	for i := range p.res {
+		t += p.res[i].WaitCycles()
+	}
+	return t
+}
+
+// RegisterMetrics publishes the port counters under "noc.port.".
+func (p *Ports) RegisterMetrics(r *metrics.Registry) {
+	r.CounterFunc("noc.port.injections", func() uint64 { return p.Injections })
+	r.CounterFunc("noc.port.waits", func() uint64 { return p.Waits() })
+	r.CounterFunc("noc.port.wait_cycles", func() uint64 { return uint64(p.WaitCycles()) })
+}

@@ -90,6 +90,39 @@ func (e *Estimate) Cycles() float64 { return e.CPI.Mean() * float64(e.Total) }
 // interval CPI variation.
 func (e *Estimate) CyclesCI() float64 { return e.CPI.CI95() * float64(e.Total) }
 
+// Target is what a sampled measurement drives: anything that can advance
+// its instruction stream functionally (Warm) and time a detailed interval
+// (Interval). A single core over its stream is the canonical target; an
+// N-core machine implements the same contract by advancing every core and
+// reporting the machine-wide result (Cycles = the latest core's clock).
+// Interval i == 0 starts the timing epoch at cycle zero; later intervals
+// resume it, keeping the simulated clock monotone as the L2 designs
+// require.
+type Target interface {
+	Warm(n uint64)
+	Interval(i int, n uint64) cpu.Result
+}
+
+// coreTarget adapts the single-core (core, stream) pair to Target,
+// preserving the exact call sequence sampled runs have always made.
+type coreTarget struct {
+	core *cpu.Core
+	s    cpu.Stream
+}
+
+func (t coreTarget) Warm(n uint64) { t.core.Warm(t.s, n) }
+
+func (t coreTarget) Interval(i int, n uint64) cpu.Result {
+	if i == 0 {
+		return t.core.RunFrom(t.s, n, 0)
+	}
+	// Later intervals resume the pipeline rather than restarting it: the
+	// measured CPI then carries no per-interval pipeline-refill/drain
+	// transient, which would otherwise bias the estimate up by a fixed
+	// cost per interval.
+	return t.core.Resume(t.s, n)
+}
+
 // Run executes a sampled measurement of total instructions on a warmed
 // core: per interval, a functional fast-forward stretch followed by
 // opt.Length detailed instructions. The stream advances exactly total
@@ -103,6 +136,15 @@ func (e *Estimate) CyclesCI() float64 { return e.CPI.CI95() * float64(e.Total) }
 // implement neither fall back to scalar Next delivery with identical
 // results.
 func Run(core *cpu.Core, s cpu.Stream, total uint64, opt Options, observe func(Interval)) Estimate {
+	return RunTarget(coreTarget{core, s}, total, opt, observe)
+}
+
+// RunTarget is Run over any Target. Total and Length count instructions
+// per stream (per core, for a machine target); CPI observations are
+// target cycles per per-stream instruction, so the estimate's Cycles()
+// projects the target's clock — for an N-core machine, the whole
+// machine's finish time — over the full run.
+func RunTarget(t Target, total uint64, opt Options, observe func(Interval)) Estimate {
 	n := uint64(opt.Intervals)
 	detailed := n * opt.Length
 	ffPer := (total - detailed) / n
@@ -115,17 +157,8 @@ func Run(core *cpu.Core, s cpu.Stream, total uint64, opt Options, observe func(I
 		if uint64(i) < ffExtra {
 			ff++
 		}
-		core.Warm(s, ff)
-		var r cpu.Result
-		if i == 0 {
-			r = core.RunFrom(s, opt.Length, 0)
-		} else {
-			// Later intervals resume the pipeline rather than restarting
-			// it: the measured CPI then carries no per-interval
-			// pipeline-refill/drain transient, which would otherwise bias
-			// the estimate up by a fixed cost per interval.
-			r = core.Resume(s, opt.Length)
-		}
+		t.Warm(ff)
+		r := t.Interval(i, opt.Length)
 		dur := r.Cycles - clock
 		clock = r.Cycles
 		est.CPI.Observe(float64(dur) / float64(opt.Length))

@@ -30,6 +30,7 @@ import (
 
 	"tlc/internal/cpu"
 	"tlc/internal/l2"
+	"tlc/internal/machine"
 	"tlc/internal/nuca"
 	"tlc/internal/tlcache"
 	"tlc/internal/workload"
@@ -83,6 +84,24 @@ type Checkpoint struct {
 	// consumers restore both the same way. Old stored checkpoints decode
 	// with Lanes false.
 	Lanes bool
+	// CMP holds the extra state of an N-core machine (nil for single-core
+	// checkpoints). It is the CMP provenance flag: consumers restoring for
+	// a multi-core key must treat a checkpoint whose CMP is nil — or whose
+	// core count differs — as a miss, the same way the lane planner's Has
+	// probe gates lane reuse. Core/Gen keep core 0's state for such
+	// checkpoints (redundantly with CMP.Cores[0]/Gens[0].Gen) so older
+	// tooling reading the envelope sees a coherent single-core view.
+	CMP *CMPCheckpoint
+}
+
+// CMPCheckpoint is an N-core machine's post-warm state beyond the shared
+// L2: every core's cache state, every core's CMP stream position, and the
+// MSI coherence directory (sorted by block; see
+// machine.DirectorySnapshot).
+type CMPCheckpoint struct {
+	Cores []cpu.State
+	Gens  []workload.CMPState
+	Dir   []machine.DirEntry
 }
 
 // Stats counts store traffic, for tests and the experiment harness's

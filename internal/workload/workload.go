@@ -211,14 +211,20 @@ func (g *Generator) ResetCounters() {
 // RegisterMetrics publishes the generator's instruction-stream counters
 // under "workload.".
 func (g *Generator) RegisterMetrics(r *metrics.Registry) {
-	r.CounterFunc("workload.mem_ops", func() uint64 { return g.counters.memOps })
-	r.CounterFunc("workload.stores", func() uint64 { return g.counters.stores })
-	r.CounterFunc("workload.mispredicts", func() uint64 { return g.counters.mispredicts })
-	r.CounterFunc("workload.l1_refs", func() uint64 { return g.counters.l1Refs })
-	r.CounterFunc("workload.hot_refs", func() uint64 { return g.counters.hotRefs })
-	r.CounterFunc("workload.stream_refs", func() uint64 { return g.counters.streamRefs })
-	r.CounterFunc("workload.recent_refs", func() uint64 { return g.counters.recentRefs })
-	r.CounterFunc("workload.cold_refs", func() uint64 { return g.counters.coldRefs })
+	g.RegisterMetricsPrefixed(r, "")
+}
+
+// RegisterMetricsPrefixed publishes the counters under prefix+"workload.";
+// CMP runs use a "core.<i>." prefix per core.
+func (g *Generator) RegisterMetricsPrefixed(r *metrics.Registry, prefix string) {
+	r.CounterFunc(prefix+"workload.mem_ops", func() uint64 { return g.counters.memOps })
+	r.CounterFunc(prefix+"workload.stores", func() uint64 { return g.counters.stores })
+	r.CounterFunc(prefix+"workload.mispredicts", func() uint64 { return g.counters.mispredicts })
+	r.CounterFunc(prefix+"workload.l1_refs", func() uint64 { return g.counters.l1Refs })
+	r.CounterFunc(prefix+"workload.hot_refs", func() uint64 { return g.counters.hotRefs })
+	r.CounterFunc(prefix+"workload.stream_refs", func() uint64 { return g.counters.streamRefs })
+	r.CounterFunc(prefix+"workload.recent_refs", func() uint64 { return g.counters.recentRefs })
+	r.CounterFunc(prefix+"workload.cold_refs", func() uint64 { return g.counters.coldRefs })
 }
 
 // Reseed replaces the random source with a freshly seeded one while keeping

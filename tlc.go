@@ -83,6 +83,19 @@ type Options struct {
 	// errors cost a retry round trip. Zero disables injection.
 	BitErrorRate float64
 
+	// Cores is the CMP core count. Zero or one runs the single-core
+	// machine — bit-identical to the pre-CMP path, same cycles and same
+	// metrics registry. 2..64 runs N cores as NOC peers over the shared
+	// L2 design, with private L1s kept coherent by an MSI directory;
+	// per-core counters appear under "core.<i>." alongside the aggregate
+	// names, and coherence traffic under "coh.".
+	Cores int
+	// Sharing shapes how the cores' streams relate (CMP runs only): the
+	// zero value stripes each core's private copy of the benchmark across
+	// disjoint address ranges; see workload.SharingPatterns for the
+	// cross-core patterns.
+	Sharing SharingSpec
+
 	// WarmSeed, when nonzero, seeds the warm-up stream separately from
 	// the timed run: after warm-up the generator reseeds with Seed, so a
 	// seed sweep measures every seed from one shared warmed machine state
@@ -155,6 +168,66 @@ type MetricsEvent struct {
 // SampleOptions projects the sampling fields.
 func (o Options) SampleOptions() sample.Options {
 	return sample.Options{Intervals: o.SampleIntervals, Length: o.SampleLength}
+}
+
+// SharingSpec parameterizes cross-core sharing in CMP runs; see
+// workload.SharingSpec.
+type SharingSpec = workload.SharingSpec
+
+// SharingPatterns lists the valid Options.Sharing pattern names.
+func SharingPatterns() []string { return workload.SharingPatterns() }
+
+// CMPConfig is the CMP axis of a run's configuration, folded into
+// checkpoint and content keys: the core count, the coherence protocol,
+// and the normalized sharing spec. Single-core runs normalize to
+// {Cores: 1} — no protocol, no sharing — so the pre-CMP key space does
+// not fork per ignored sharing knob.
+type CMPConfig struct {
+	Cores    int
+	Protocol string
+	Sharing  SharingSpec
+}
+
+// cores resolves Options.Cores: zero means one.
+func (o Options) cores() int {
+	if o.Cores <= 1 {
+		return 1
+	}
+	return o.Cores
+}
+
+// cmpConfig normalizes the CMP axis for key hashing.
+func (o Options) cmpConfig() CMPConfig {
+	n := o.cores()
+	if n == 1 {
+		return CMPConfig{Cores: 1}
+	}
+	return CMPConfig{Cores: n, Protocol: "MSI", Sharing: o.Sharing.Normalize()}
+}
+
+// singleCoreCMP is the CMP axis of every pre-CMP run.
+func singleCoreCMP() CMPConfig { return CMPConfig{Cores: 1} }
+
+// Validate checks the options for configurations a run would reject —
+// currently the CMP axis: a negative core count, more cores than the
+// 64-wide directory bitmap holds, or an unknown sharing pattern. The run
+// entry points validate internally; CLIs and the service call this early
+// so a bad flag or request fails with the same one-line error before any
+// simulation starts.
+func (o Options) Validate() error { return o.validateCMP() }
+
+// validateCMP rejects impossible CMP options before a run executes.
+func (o Options) validateCMP() error {
+	if o.Cores < 0 {
+		return fmt.Errorf("tlc: %d cores; need at least 1", o.Cores)
+	}
+	if o.Cores > 64 {
+		return fmt.Errorf("tlc: %d cores exceeds the 64-core directory limit", o.Cores)
+	}
+	if err := o.Sharing.Validate(); err != nil {
+		return err
+	}
+	return nil
 }
 
 // CheckpointStore holds warm-state checkpoints: an in-process LRU with an
@@ -276,7 +349,7 @@ func Run(d Design, benchmark string, opt Options) (Result, error) {
 // checkpointFormat versions the warm-state layout. Bump it whenever the
 // captured state's shape or semantics change, so stale on-disk checkpoints
 // miss instead of restoring garbage.
-const checkpointFormat = 1
+const checkpointFormat = 2 // v2: CMP axis in keys, optional CMP state in checkpoints
 
 // keyHasher folds checkpoint-key fields into an FNV hash with explicit,
 // typed encoding: every value is written as a fixed-width little-endian
@@ -406,15 +479,30 @@ func (k *keyHasher) tlcParams(p config.TLCParams) {
 	k.b(p.PartialTagInBank)
 }
 
+// sharing folds a CMP sharing spec.
+func (k *keyHasher) sharing(s SharingSpec) {
+	k.str(s.Pattern)
+	k.f(s.SharedMB)
+	k.f(s.SharedFrac)
+}
+
+// cmp folds the CMP axis of a configuration.
+func (k *keyHasher) cmp(c CMPConfig) {
+	k.i(c.Cores)
+	k.str(c.Protocol)
+	k.sharing(c.Sharing)
+}
+
 // configHash keys checkpoints by everything that shapes post-warm machine
-// state: the design and its parameters, the system (L1 geometry), and the
-// workload spec. Over-keying (including parameters warm-up ignores) only
-// costs spurious misses; under-keying would silently restore wrong state.
-// Every parameter is folded field by field with typed encoding (keyHasher);
+// state: the design and its parameters, the system (L1 geometry), the
+// workload spec, and the CMP axis (core count, protocol, sharing).
+// Over-keying (including parameters warm-up ignores) only costs spurious
+// misses; under-keying would silently restore wrong state. Every parameter
+// is folded field by field with typed encoding (keyHasher);
 // TestConfigHashCoversEveryParameter asserts that perturbing any single
 // field changes the key.
-func configHash(d Design, spec workload.Spec) string {
-	return configHashOf(d, config.DefaultSystem(), spec, nucaParamsFor(d), tlcParamsFor(d))
+func configHash(d Design, spec workload.Spec, cmp CMPConfig) string {
+	return configHashOf(d, config.DefaultSystem(), spec, nucaParamsFor(d), tlcParamsFor(d), cmp)
 }
 
 // nucaParamsFor and tlcParamsFor return the design's parameter struct, or a
@@ -440,7 +528,7 @@ func tlcParamsFor(d Design) config.TLCParams {
 
 // configHashOf is the explicit-encoding core of configHash, parameterized
 // for testing.
-func configHashOf(d Design, sys config.System, spec workload.Spec, np config.NUCAParams, tp config.TLCParams) string {
+func configHashOf(d Design, sys config.System, spec workload.Spec, np config.NUCAParams, tp config.TLCParams, cmp CMPConfig) string {
 	k := newKeyHasher()
 	k.u64(checkpointFormat)
 	k.i(int(d))
@@ -448,6 +536,7 @@ func configHashOf(d Design, sys config.System, spec workload.Spec, np config.NUC
 	k.spec(spec)
 	k.nucaParams(np)
 	k.tlcParams(tp)
+	k.cmp(cmp)
 	return k.sum()
 }
 
@@ -468,6 +557,7 @@ func (o Options) ContentKey() string {
 	k.u64(uint64(o.WarmSeed))
 	k.i(o.SampleIntervals)
 	k.u64(o.SampleLength)
+	k.cmp(o.cmpConfig())
 	return k.sum()
 }
 
@@ -481,7 +571,7 @@ func (o Options) ContentKey() string {
 func RunKey(d Design, benchmark string, opt Options) string {
 	spec, _ := workload.SpecByName(benchmark)
 	k := newKeyHasher()
-	k.str(configHash(d, spec))
+	k.str(configHash(d, spec, opt.cmpConfig()))
 	k.str(benchmark)
 	k.str(opt.ContentKey())
 	return k.sum()
@@ -524,7 +614,7 @@ func prepare(d Design, spec workload.Spec, opt Options) (l2.Instrumented, *cpu.C
 	core.RegisterMetrics(inst.Metrics())
 	gen.RegisterMetrics(inst.Metrics())
 
-	key := snapshot.Key{Config: configHash(d, spec), Bench: spec.Name, Seed: warmSeed, Warm: warm}
+	key := snapshot.Key{Config: configHash(d, spec, singleCoreCMP()), Bench: spec.Name, Seed: warmSeed, Warm: warm}
 	restored := false
 	if opt.Checkpoints != nil {
 		if ckp, ok := opt.Checkpoints.Get(key); ok {
@@ -573,6 +663,11 @@ func prepare(d Design, spec workload.Spec, opt Options) (l2.Instrumented, *cpu.C
 // restoreCheckpoint applies a stored checkpoint; a false return (type or
 // geometry mismatch, e.g. a stale disk entry) falls back to re-warming.
 func restoreCheckpoint(ckp snapshot.Checkpoint, core *cpu.Core, c l2.Cache, gen *workload.Generator) bool {
+	if ckp.CMP != nil {
+		// Provenance: a CMP machine's checkpoint never restores into a
+		// single-core run (the mirror of restoreCMPCheckpoint's nil check).
+		return false
+	}
 	snap, ok := c.(l2.Snapshotter)
 	if !ok {
 		return false
@@ -589,9 +684,15 @@ func restoreCheckpoint(ckp snapshot.Checkpoint, core *cpu.Core, c l2.Cache, gen 
 
 // RunSpec simulates a custom workload spec on one design.
 func RunSpec(d Design, spec workload.Spec, opt Options) (Result, error) {
+	if err := opt.validateCMP(); err != nil {
+		return Result{}, err
+	}
 	if opt.SampleIntervals > 0 {
 		sres, err := RunSpecSampled(d, spec, opt)
 		return sres.Result, err
+	}
+	if opt.cores() > 1 {
+		return runSpecCMP(d, spec, opt)
 	}
 	inst, core, gen, err := prepare(d, spec, opt)
 	if err != nil {
@@ -698,6 +799,12 @@ func RunSpecSampled(d Design, spec workload.Spec, opt Options) (SampledResult, e
 	sopt := opt.SampleOptions()
 	if err := sopt.Validate(opt.RunInstructions); err != nil {
 		return SampledResult{}, err
+	}
+	if err := opt.validateCMP(); err != nil {
+		return SampledResult{}, err
+	}
+	if opt.cores() > 1 {
+		return runSpecCMPSampled(d, spec, opt)
 	}
 	inst, core, gen, err := prepare(d, spec, opt)
 	if err != nil {
