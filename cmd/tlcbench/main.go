@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -55,6 +56,8 @@ type document struct {
 	Par               int                `json:"par"`
 	SampleIntervals   int                `json:"sample_intervals,omitempty"`
 	SampleLength      uint64             `json:"sample_length,omitempty"`
+	PhaseWindows      int                `json:"phase_windows,omitempty"`
+	PhaseClusters     int                `json:"phase_clusters,omitempty"`
 	Runs              []record           `json:"runs"`
 	Headline          map[string]float64 `json:"headline"`
 	SimulatedRuns     uint64             `json:"simulated_runs"`
@@ -94,6 +97,15 @@ func main() {
 	diffFatal := flag.Bool("diff-fatal", false,
 		"exit non-zero if -diff-against reports any changed metric "+
 			"(the lane-vs-scalar equivalence gate)")
+	diffTol := flag.Float64("tol", 0,
+		"relative tolerance for -diff-against: values within |a-b| <= tol*max(|a|,|b|) "+
+			"count as unchanged (0 = exact equality, the equivalence-gate default; "+
+			"accuracy gates comparing phase-sampled vs uniform artifacts pass e.g. 0.03)")
+	diffHead := flag.Bool("diff-headline", false,
+		"with -diff-against: compare each run's full-run cycle estimates (cycles, ipc) "+
+			"instead of the embedded registry snapshots — the cross-execution-mode "+
+			"accuracy gate (a sampled artifact's raw registry counters cover only its "+
+			"detailed fraction, so they are not comparable against a full run's)")
 	lanes := flag.Bool("lanes", true,
 		"lane-parallel warm phase: share each benchmark's warm stream across "+
 			"all designs (an in-memory checkpoint store is used when -ckptdir "+
@@ -176,6 +188,8 @@ func main() {
 		Par:               *par,
 		SampleIntervals:   opt.SampleIntervals,
 		SampleLength:      opt.SampleLength,
+		PhaseWindows:      opt.PhaseWindows,
+		PhaseClusters:     opt.PhaseClusters,
 		Headline:          map[string]float64{},
 		ElapsedMS:         float64(elapsed.Microseconds()) / 1000,
 	}
@@ -295,7 +309,16 @@ func main() {
 	}
 
 	if prev != nil {
-		changed, _ := diffMetrics(*diffAgainst, *prev, doc, os.Stderr)
+		if *diffTol < 0 {
+			fmt.Fprintf(os.Stderr, "tlcbench: -tol %g: tolerance must be non-negative\n", *diffTol)
+			os.Exit(2)
+		}
+		var changed int
+		if *diffHead {
+			changed, _ = diffHeadline(*diffAgainst, *prev, doc, *diffTol, os.Stderr)
+		} else {
+			changed, _ = diffMetrics(*diffAgainst, *prev, doc, *diffTol, os.Stderr)
+		}
 		if *diffFatal && changed > 0 {
 			fmt.Fprintf(os.Stderr, "tlcbench: -diff-fatal: %d metrics changed vs %s\n",
 				changed, *diffAgainst)
@@ -325,6 +348,12 @@ func main() {
 // artifact without embedded metrics (or with a different grid) diffs only
 // the intersection.
 //
+// tol relaxes the comparison to a symmetric relative tolerance — values
+// within |a-b| <= tol*max(|a|,|b|) count as unchanged — for accuracy gates
+// that compare estimates against a different execution mode (phase-sampled
+// vs uniform). Equivalence gates (lane-vs-scalar, cache-hit-vs-recompute)
+// keep tol 0: bit-identical modes must diff exactly.
+//
 // The comparison is fully order-independent: runs match by (design,
 // benchmark) key and metrics by name, never by position. A served artifact
 // (tlcd emits records in completion order) or one whose metrics array was
@@ -332,7 +361,7 @@ func main() {
 // one — in particular, Snapshot.Value's sorted-order binary search is NOT
 // used on the deserialized previous artifact, which carries no ordering
 // guarantee.
-func diffMetrics(path string, prev, cur document, w io.Writer) (changed, compared int) {
+func diffMetrics(path string, prev, cur document, tol float64, w io.Writer) (changed, compared int) {
 	prevRuns := make(map[string]map[string]float64, len(prev.Runs))
 	for _, r := range prev.Runs {
 		vals := make(map[string]float64, len(r.Metrics))
@@ -353,7 +382,7 @@ func diffMetrics(path string, prev, cur document, w io.Writer) (changed, compare
 				continue
 			}
 			compared++
-			if old != m.Value {
+			if metricChanged(old, m.Value, tol) {
 				changed++
 				fmt.Fprintf(w, "metric %s/%s %s: %g -> %g\n",
 					r.Design, r.Benchmark, m.Name, old, m.Value)
@@ -363,6 +392,63 @@ func diffMetrics(path string, prev, cur document, w io.Writer) (changed, compare
 	fmt.Fprintf(w, "metrics diff vs %s: %d of %d values changed\n",
 		path, changed, compared)
 	return changed, compared
+}
+
+// diffHeadline compares each run's headline cycle estimates — cycles and
+// ipc — between artifacts, matching runs by (design, benchmark) like
+// diffMetrics. It is the cross-execution-mode accuracy gate: a sampled or
+// phase-sampled artifact's embedded registry counters cover only the
+// detailed fraction of each run (not comparable to a full artifact's), but
+// its cycles and ipc are full-run estimates, so they diff meaningfully
+// against a full artifact under -tol. The rate estimates (mean lookup,
+// misses/1K) are deliberately excluded: they carry their own confidence
+// intervals in the artifact and are not part of the ±tolerance contract.
+func diffHeadline(path string, prev, cur document, tol float64, w io.Writer) (changed, compared int) {
+	prevRuns := make(map[string]record, len(prev.Runs))
+	for _, r := range prev.Runs {
+		prevRuns[r.Design+"/"+r.Benchmark] = r
+	}
+	for _, r := range cur.Runs {
+		p, ok := prevRuns[r.Design+"/"+r.Benchmark]
+		if !ok {
+			continue
+		}
+		for _, f := range []struct {
+			name     string
+			old, new float64
+		}{
+			{"cycles", float64(p.Cycles), float64(r.Cycles)},
+			{"ipc", p.IPC, r.IPC},
+		} {
+			compared++
+			if metricChanged(f.old, f.new, tol) {
+				changed++
+				fmt.Fprintf(w, "headline %s/%s %s: %g -> %g\n",
+					r.Design, r.Benchmark, f.name, f.old, f.new)
+			}
+		}
+	}
+	fmt.Fprintf(w, "headline diff vs %s: %d of %d values changed\n",
+		path, changed, compared)
+	return changed, compared
+}
+
+// metricChanged reports whether two metric values differ beyond the
+// relative tolerance. tol 0 degenerates to exact inequality (a NaN — which
+// no registry metric produces — would then always read as changed, the
+// conservative direction for a gate).
+func metricChanged(old, new, tol float64) bool {
+	if old == new {
+		return false
+	}
+	if tol == 0 {
+		return true
+	}
+	scale := math.Abs(old)
+	if a := math.Abs(new); a > scale {
+		scale = a
+	}
+	return math.Abs(new-old) > tol*scale
 }
 
 // readArtifact loads and parses a previous trajectory artifact.

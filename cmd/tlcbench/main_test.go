@@ -88,9 +88,35 @@ func TestDiffMetricsValidArtifact(t *testing.T) {
 	if err != nil {
 		t.Fatalf("readArtifact on valid artifact: %v", err)
 	}
-	changed, compared := diffMetrics(path, *got, cur, io.Discard)
+	changed, compared := diffMetrics(path, *got, cur, 0, io.Discard)
 	if changed != 1 || compared != 1 {
 		t.Fatalf("diff = %d changed of %d compared, want 1 of 1", changed, compared)
+	}
+}
+
+// TestDiffMetricsTolerance: -tol turns the exact diff into a symmetric
+// relative band — drift within tol*max(|a|,|b|) is unchanged, drift beyond
+// it is reported — and tol 0 stays exact down to the last bit.
+func TestDiffMetricsTolerance(t *testing.T) {
+	cases := []struct {
+		old, new, tol float64
+		changed       bool
+	}{
+		{100, 100, 0, false},         // identical, exact
+		{100, 100.0001, 0, true},     // any drift, exact
+		{100, 102, 0.03, false},      // 2% drift inside a 3% band
+		{100, 104, 0.03, true},       // 4% drift outside it
+		{102, 100, 0.03, false},      // symmetric: direction does not matter
+		{0, 0, 0.03, false},          // both zero
+		{0, 1, 0.03, true},           // zero to nonzero is a full-scale change
+		{-100, -102, 0.03, false},    // negative values use magnitudes
+		{1e-12, 1.02e-12, 0.03, false}, // relative, not absolute
+	}
+	for _, c := range cases {
+		if got := metricChanged(c.old, c.new, c.tol); got != c.changed {
+			t.Errorf("metricChanged(%g, %g, tol=%g) = %v, want %v",
+				c.old, c.new, c.tol, got, c.changed)
+		}
 	}
 }
 
@@ -190,7 +216,7 @@ func TestDiffMetricsOrderIndependent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	changed, compared := diffMetrics(path, *got, cur, io.Discard)
+	changed, compared := diffMetrics(path, *got, cur, 0, io.Discard)
 	if changed != 0 {
 		t.Errorf("reordered identical artifact reported %d changed metrics, want 0", changed)
 	}
@@ -200,8 +226,43 @@ func TestDiffMetricsOrderIndependent(t *testing.T) {
 
 	// And a genuine change in an unsorted previous artifact is still found.
 	cur.Runs[0].Metrics[1].Value = 999 // gcc l2.misses
-	changed, compared = diffMetrics(path, *got, cur, io.Discard)
+	changed, compared = diffMetrics(path, *got, cur, 0, io.Discard)
 	if changed != 1 || compared != 6 {
 		t.Errorf("diff = %d changed of %d compared, want 1 of 6", changed, compared)
+	}
+}
+
+// TestDiffHeadline: -diff-headline compares per-run cycles and ipc under
+// the relative tolerance and ignores the embedded registry snapshots —
+// the cross-execution-mode accuracy gate, where raw counters cover
+// different detailed fractions and cannot be compared.
+func TestDiffHeadline(t *testing.T) {
+	prev := document{Runs: []record{
+		{Design: "TLC", Benchmark: "gcc", Cycles: 100_000, IPC: 2.0,
+			Metrics: tlc.MetricsSnapshot{{Name: "l2.misses", Value: 1216}}},
+		{Design: "TLC", Benchmark: "mcf", Cycles: 500_000, IPC: 0.4},
+	}}
+	cur := document{Runs: []record{
+		// Within 3% of prev, registry metric wildly different: headline
+		// mode must pass where a metrics diff would scream.
+		{Design: "TLC", Benchmark: "gcc", Cycles: 102_000, IPC: 1.96,
+			Metrics: tlc.MetricsSnapshot{{Name: "l2.misses", Value: 446}}},
+		// 10% off: both fields flagged.
+		{Design: "TLC", Benchmark: "mcf", Cycles: 550_000, IPC: 0.36},
+	}}
+
+	changed, compared := diffHeadline("prev.json", prev, cur, 0.03, io.Discard)
+	if compared != 4 {
+		t.Errorf("compared %d headline values, want 4 (2 runs x cycles+ipc)", compared)
+	}
+	if changed != 2 {
+		t.Errorf("%d headline values changed at 3%% tolerance, want 2 (mcf only)", changed)
+	}
+	if c, _ := diffHeadline("prev.json", prev, cur, 0.15, io.Discard); c != 0 {
+		t.Errorf("%d headline values changed at 15%% tolerance, want 0", c)
+	}
+	// Exact mode still bites on the small drift.
+	if c, _ := diffHeadline("prev.json", prev, cur, 0, io.Discard); c != 4 {
+		t.Errorf("%d headline values changed at tol 0, want all 4", c)
 	}
 }

@@ -103,6 +103,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		Checkpoints:    tlc.NewCheckpointStore(0, *ckptdir),
+		Profiles:       tlc.NewPhaseProfileStore(0, *ckptdir),
 		BaseOptions:    base,
 	}
 
@@ -114,6 +115,11 @@ func main() {
 		}
 		member = fleet.Join(*join, self, *heartbeat, 0)
 		cfg.PeerFill = member.PeerFill
+		// Phase profiles peer-fill too: a worker about to profile a
+		// workload first asks the key's ring owner for its cached
+		// clustering (a pure Peek on the peer), so the fleet pays each
+		// profiling pass once.
+		cfg.Profiles.SetFill(member.ProfileFill)
 		log.Printf("tlcd: joined fleet at %s as %s", *join, self)
 	}
 

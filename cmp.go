@@ -26,8 +26,10 @@ import (
 // the shared design, post-warm caches, a seeded coherence directory, and
 // every per-core stream positioned (and reseeded) for the timed run.
 // Checkpoints restore the whole machine — all cores, all streams, the L2,
-// and the directory — or re-warm and store it.
-func prepareCMP(d Design, spec workload.Spec, opt Options) (l2.Instrumented, *machine.Machine, error) {
+// and the directory — or re-warm and store it. The per-core streams come
+// back too: phase-mode profiling (runSpecCMPPhased) rewinds them after its
+// functional pass.
+func prepareCMP(d Design, spec workload.Spec, opt Options) (l2.Instrumented, *machine.Machine, []*workload.CMPStream, error) {
 	sys := config.DefaultSystem()
 	n := opt.cores()
 	inst := build(d, opt)
@@ -72,7 +74,7 @@ func prepareCMP(d Design, spec workload.Spec, opt Options) (l2.Instrumented, *ma
 		}
 		m.Warm(warm)
 		if err := m.CancelErr(); err != nil {
-			return nil, nil, fmt.Errorf("tlc: %v %s warm-up cancelled: %w", d, spec.Name, err)
+			return nil, nil, nil, fmt.Errorf("tlc: %v %s warm-up cancelled: %w", d, spec.Name, err)
 		}
 		if opt.Checkpoints != nil {
 			if snap, ok := inst.(l2.Snapshotter); ok {
@@ -102,7 +104,7 @@ func prepareCMP(d Design, spec workload.Spec, opt Options) (l2.Instrumented, *ma
 	for i := range gens {
 		gens[i].ResetCounters()
 	}
-	return inst, m, nil
+	return inst, m, gens, nil
 }
 
 // restoreCMPCheckpoint applies a stored CMP checkpoint. A single-core
@@ -137,7 +139,7 @@ func restoreCMPCheckpoint(ckp snapshot.Checkpoint, cores []*cpu.Core, c l2.Cache
 // summed over cores, Cycles the machine finish time (the latest core's
 // clock), IPC their ratio.
 func runSpecCMP(d Design, spec workload.Spec, opt Options) (Result, error) {
-	inst, m, err := prepareCMP(d, spec, opt)
+	inst, m, _, err := prepareCMP(d, spec, opt)
 	if err != nil {
 		return Result{}, err
 	}
@@ -160,7 +162,7 @@ func runSpecCMP(d Design, spec workload.Spec, opt Options) (Result, error) {
 // normalize per 1K executed instructions (all cores).
 func runSpecCMPSampled(d Design, spec workload.Spec, opt Options) (SampledResult, error) {
 	sopt := opt.SampleOptions()
-	inst, m, err := prepareCMP(d, spec, opt)
+	inst, m, _, err := prepareCMP(d, spec, opt)
 	if err != nil {
 		return SampledResult{}, err
 	}

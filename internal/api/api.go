@@ -26,6 +26,8 @@ type RunOptions struct {
 	BitErrorRate     float64 `json:"bit_error_rate,omitempty"`
 	SampleIntervals  int     `json:"sample_intervals,omitempty"`
 	SampleLength     uint64  `json:"sample_length,omitempty"`
+	PhaseWindows     int     `json:"phase_windows,omitempty"`
+	PhaseClusters    int     `json:"phase_clusters,omitempty"`
 
 	// CMP axis: Cores 0 or 1 is the single-core machine (bit-identical to
 	// requests that never set it); 2..64 runs N cores over the shared L2
@@ -57,6 +59,8 @@ func (o RunOptions) Options() tlc.Options {
 	if o.SampleLength != 0 {
 		opt.SampleLength = o.SampleLength
 	}
+	opt.PhaseWindows = o.PhaseWindows
+	opt.PhaseClusters = o.PhaseClusters
 	opt.Cores = o.Cores
 	opt.Sharing = tlc.SharingSpec{
 		Pattern:    o.SharingPattern,
@@ -77,6 +81,8 @@ func FromOptions(opt tlc.Options) RunOptions {
 		BitErrorRate:     opt.BitErrorRate,
 		SampleIntervals:  opt.SampleIntervals,
 		SampleLength:     opt.SampleLength,
+		PhaseWindows:     opt.PhaseWindows,
+		PhaseClusters:    opt.PhaseClusters,
 		Cores:            opt.Cores,
 		SharingPattern:   opt.Sharing.Pattern,
 		SharedMB:         opt.Sharing.SharedMB,

@@ -323,6 +323,22 @@ func (c *Client) GetRun(ctx context.Context, id string) (api.RunRecord, bool, er
 	return rec, true, nil
 }
 
+// GetProfile looks up a cached phase profile by its content key. A 404 —
+// the peer has not profiled that workload (or evicted it) — maps to
+// ok=false rather than an error.
+func (c *Client) GetProfile(ctx context.Context, key string) (tlc.PhaseProfile, bool, error) {
+	var prof tlc.PhaseProfile
+	err := c.do(ctx, http.MethodGet, "/v1/profiles/"+key, nil, &prof)
+	if err != nil {
+		var serr *StatusError
+		if errors.As(err, &serr) && serr.Status == http.StatusNotFound {
+			return tlc.PhaseProfile{}, false, nil
+		}
+		return tlc.PhaseProfile{}, false, err
+	}
+	return prof, true, nil
+}
+
 // Figure fetches a rendered table/figure as text.
 func (c *Client) Figure(ctx context.Context, name string) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/figures/"+name, nil)

@@ -24,6 +24,12 @@ type Flags struct {
 	Sample int
 	// Length is the instructions per detailed interval.
 	Length uint64
+	// Phase selects phase-aware representative sampling with the default
+	// window/cluster shape; PhaseWindows and PhaseClusters override the
+	// shape (either implies -phase). Mutually exclusive with -sample.
+	Phase         bool
+	PhaseWindows  int
+	PhaseClusters int
 	// Metrics, when non-empty, collects every run's full metric-registry
 	// snapshot and writes them as JSON to this file ("-" for stdout) when
 	// WriteMetrics is called.
@@ -41,8 +47,22 @@ type Flags struct {
 	events []tlc.MetricsEvent
 }
 
-// Register installs -ckptdir, -sample, -samplelen, -metrics, -cores, and
-// the -sharing knobs on the default flag set. Call before flag.Parse.
+// DefaultPhaseWindows and DefaultPhaseClusters shape -phase when the
+// explicit knobs are zero: 40 windows clustered into at most 14 phases —
+// the representative timed spans are whole windows, so this is 3-4x fewer
+// detailed intervals than the typical -sample 50 at comparable accuracy
+// (intervals collapse further when fewer phases are distinct). The window
+// count is deliberately modest: phase calibration regresses per-window
+// event rates, and longer windows average the rare-event noise (a handful
+// of DRAM-latency misses per window) that short windows drown in.
+const (
+	DefaultPhaseWindows  = 40
+	DefaultPhaseClusters = 14
+)
+
+// Register installs -ckptdir, -sample, -samplelen, -phase and its shape
+// knobs, -metrics, -cores, and the -sharing knobs on the default flag set.
+// Call before flag.Parse.
 func Register() *Flags {
 	f := &Flags{}
 	flag.StringVar(&f.CkptDir, "ckptdir", "",
@@ -51,6 +71,12 @@ func Register() *Flags {
 		"sampled mode: detailed intervals per run (0 = full detailed simulation)")
 	flag.Uint64Var(&f.Length, "samplelen", 2000,
 		"instructions per detailed interval in sampled mode")
+	flag.BoolVar(&f.Phase, "phase", false,
+		"phase-aware sampling: cluster profiling windows and time one representative interval per phase")
+	flag.IntVar(&f.PhaseWindows, "phase-windows", 0,
+		fmt.Sprintf("profiling windows for -phase (0 = default %d; setting it implies -phase)", DefaultPhaseWindows))
+	flag.IntVar(&f.PhaseClusters, "phase-clusters", 0,
+		fmt.Sprintf("k-means clusters for -phase (0 = default %d; setting it implies -phase)", DefaultPhaseClusters))
 	flag.StringVar(&f.Metrics, "metrics", "",
 		"dump every run's full metric registry as JSON to this file ('-' for stdout)")
 	flag.IntVar(&f.Cores, "cores", 1,
@@ -66,8 +92,10 @@ func Register() *Flags {
 
 // Apply wires the parsed flags into opt: a -ckptdir attaches a disk-backed
 // checkpoint store (runs sharing a warm prefix skip warm-up, bit-identically),
-// -sample/-samplelen select the sampled interval plan, -cores/-sharing set
-// the CMP axis, and -metrics chains a collector onto OnMetrics (a hook
+// -sample/-samplelen select the uniform sampled interval plan, -phase (and
+// its shape knobs) the phase-aware one with a per-invocation profile store,
+// -cores/-sharing set the CMP axis, and -metrics chains a collector onto
+// OnMetrics (a hook
 // already present keeps firing after it). Apply may be called on several
 // Options values (one suite per memory model, say); all their runs collect
 // into the same dump. The returned error rejects impossible CMP flags — a
@@ -85,9 +113,32 @@ func (f *Flags) Apply(opt *tlc.Options) error {
 	if f.CkptDir != "" {
 		opt.Checkpoints = tlc.NewCheckpointStore(0, f.CkptDir)
 	}
+	phase := f.Phase || f.PhaseWindows > 0 || f.PhaseClusters > 0
+	if phase && f.Sample > 0 {
+		return fmt.Errorf("cliopt: -sample %d and -phase are mutually exclusive (uniform vs phase-aware sampling)", f.Sample)
+	}
 	if f.Sample > 0 {
 		opt.SampleIntervals = f.Sample
 		opt.SampleLength = f.Length
+	}
+	if phase {
+		opt.PhaseWindows = f.PhaseWindows
+		if opt.PhaseWindows == 0 {
+			opt.PhaseWindows = DefaultPhaseWindows
+		}
+		opt.PhaseClusters = f.PhaseClusters
+		if opt.PhaseClusters == 0 {
+			opt.PhaseClusters = DefaultPhaseClusters
+		}
+		if opt.PhaseClusters > opt.PhaseWindows {
+			return fmt.Errorf("cliopt: -phase-clusters %d exceeds -phase-windows %d", opt.PhaseClusters, opt.PhaseWindows)
+		}
+		opt.SampleLength = f.Length
+		// One profile store per invocation: the profile is design-
+		// independent, so a grid over all six designs pays one clustering
+		// pass per benchmark. -ckptdir adds the persistent tier, shared
+		// with later invocations.
+		opt.PhaseProfiles = tlc.NewPhaseProfileStore(0, f.CkptDir)
 	}
 	if f.Metrics != "" {
 		user := opt.OnMetrics

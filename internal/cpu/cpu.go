@@ -207,6 +207,18 @@ type Core struct {
 		robStalls, schedStalls uint64
 		mshrWaits, mispredicts uint64
 	}
+
+	// countWarmMisses gates functional L2-miss counting in the warm paths:
+	// when set, every warm-path L2 install is preceded by a read-only
+	// Contains probe and warmL2Misses counts the absent blocks — the misses
+	// a detailed run over the same stretch would have charged. Off by
+	// default so bulk warming (the 2M-instruction warm phase, uniform
+	// fast-forward, lane sweeps) pays nothing; the phase-sampled runner
+	// enables it across the timed region to total its L2-miss covariate
+	// exactly. The probe never mutates cache state, so counting cannot
+	// perturb a run.
+	countWarmMisses bool
+	warmL2Misses    uint64
 }
 
 // New builds a core over the given L2.
@@ -367,6 +379,14 @@ const (
 // bulk when the design implements l2.Warmer. Other streams take the scalar
 // reference loop. Both leave the core and L2 in bit-identical state — the
 // batched/scalar equivalence tests pin this.
+// SetWarmMissCounting gates functional L2-miss counting during Warm; see
+// the countWarmMisses field. The count is read with WarmL2Misses.
+func (c *Core) SetWarmMissCounting(on bool) { c.countWarmMisses = on }
+
+// WarmL2Misses returns the L2 misses counted by warm-path probing since the
+// core was built (only stretches with SetWarmMissCounting(true) count).
+func (c *Core) WarmL2Misses() uint64 { return c.warmL2Misses }
+
 func (c *Core) Warm(s Stream, n uint64) {
 	if ms, ok := s.(MemStream); ok {
 		c.warmFast(ms, n)
@@ -400,12 +420,18 @@ func (c *Core) warmScalar(s Stream, n uint64) {
 		// overwritten with the new line's state.
 		idx, victim, evicted := c.l1.InsertAt(in.Block)
 		if evicted && c.dirty[idx] != 0 {
+			if c.countWarmMisses && !c.l2.Contains(victim) {
+				c.warmL2Misses++
+			}
 			c.l2.Warm(victim)
 		}
 		if in.IsStore {
 			c.dirty[idx] = 1
 		} else {
 			c.dirty[idx] = 0
+			if c.countWarmMisses && !c.l2.Contains(in.Block) {
+				c.warmL2Misses++
+			}
 			c.l2.Warm(in.Block)
 		}
 	}
@@ -436,6 +462,18 @@ func (c *Core) warmFast(s MemStream, n uint64) {
 		}
 		remaining -= consumed
 		spill := c.l1.WarmSweep(c.memBuf[:m], c.dirty, c.l2Warm[:0])
+		if c.countWarmMisses {
+			// Probe before the batch installs. A block repeated within one
+			// spill (victim refilled in the same sweep) counts once per
+			// probe rather than once per true miss; at a few hundred
+			// references per sweep the double-count is noise against the
+			// covariate total it feeds.
+			for _, b := range spill {
+				if !c.l2.Contains(b) {
+					c.warmL2Misses++
+				}
+			}
+		}
 		if bulk {
 			if len(spill) > 0 {
 				warmer.WarmBulk(spill)

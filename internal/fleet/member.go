@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"tlc"
 	"tlc/internal/api"
 	"tlc/internal/client"
 )
@@ -154,4 +155,28 @@ func (m *Member) PeerFill(ctx context.Context, key string) (api.RunRecord, bool)
 		return api.RunRecord{}, false
 	}
 	return rec, true
+}
+
+// ProfileFill implements the phase-profile store's fill hook
+// (tlc.PhaseProfileStore.SetFill): on a local profile miss, ask the key's
+// ring owner for its cached clustering before recomputing. Like PeerFill
+// it is a pure cache GET (the peer serves Peek only — a cold peer answers
+// 404, never profiles on demand), so a fleet pays each profiling pass at
+// most once and a miss just means profiling locally. The hook has no
+// caller context — it fires deep inside a run — so it bounds itself with
+// the standard peer-fill timeout.
+func (m *Member) ProfileFill(key string) (tlc.PhaseProfile, bool) {
+	m.mu.Lock()
+	owner, ok := m.ring.OwnerExcluding(key, m.self)
+	m.mu.Unlock()
+	if !ok || owner == m.self {
+		return tlc.PhaseProfile{}, false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), peerFillTimeout)
+	defer cancel()
+	prof, found, err := m.peerClient(owner).GetProfile(ctx, key)
+	if err != nil || !found {
+		return tlc.PhaseProfile{}, false
+	}
+	return prof, true
 }

@@ -24,31 +24,77 @@ import (
 	"tlc/internal/stats"
 )
 
-// Options selects sampled execution. The zero value (no intervals) means
-// full detailed simulation.
+// Options selects sampled execution. The zero value (no intervals, no
+// phase windows) means full detailed simulation. Uniform mode (Intervals >
+// 0) and phase mode (PhaseWindows/PhaseClusters > 0) are mutually
+// exclusive.
 type Options struct {
-	// Intervals is the number of detailed measurement intervals.
+	// Intervals is the number of detailed measurement intervals (uniform
+	// SMARTS-style sampling).
 	Intervals int
-	// Length is the number of instructions timed in detail per interval.
+	// Length is the number of instructions timed in detail per interval
+	// (uniform mode; phase mode times whole windows of total/PhaseWindows).
 	Length uint64
+
+	// PhaseWindows slices the run into this many fixed profiling windows
+	// for phase-aware sampling; PhaseClusters is the k-means cluster count.
+	// Both positive selects phase mode: one detailed interval per cluster
+	// representative instead of Intervals uniform ones.
+	PhaseWindows  int
+	PhaseClusters int
 }
 
-// Enabled reports whether the options request sampling.
-func (o Options) Enabled() bool { return o.Intervals > 0 }
+// Enabled reports whether the options request sampling (either mode).
+func (o Options) Enabled() bool { return o.Intervals > 0 || o.Phase() }
 
-// Validate checks the options against a run of total instructions.
+// Phase reports whether the options request phase-aware sampling. A
+// half-set pair still reports true so Validate can name the missing field.
+func (o Options) Phase() bool { return o.PhaseWindows > 0 || o.PhaseClusters > 0 }
+
+// Validate checks the options against a run of total instructions. Error
+// messages name the offending field and its value.
 func (o Options) Validate(total uint64) error {
+	if o.Phase() {
+		return o.validatePhase(total)
+	}
 	if o.Intervals <= 0 {
-		return fmt.Errorf("sample: %d intervals; need at least 1", o.Intervals)
+		return fmt.Errorf("sample: Intervals=%d; need at least 1 detailed interval", o.Intervals)
 	}
 	if o.Length == 0 {
-		return fmt.Errorf("sample: interval length is zero")
+		return fmt.Errorf("sample: Length=0; need a positive detailed-interval length")
 	}
 	detailed := uint64(o.Intervals) * o.Length
 	if detailed > total {
-		return fmt.Errorf("sample: %d×%d detailed instructions exceed the %d-instruction run; use a full run",
+		return fmt.Errorf("sample: Intervals=%d × Length=%d detailed instructions exceed the %d-instruction run; use a full run",
 			o.Intervals, o.Length, total)
 	}
+	return nil
+}
+
+// validatePhase checks the phase-mode field combination.
+func (o Options) validatePhase(total uint64) error {
+	if o.Intervals > 0 {
+		return fmt.Errorf("sample: Intervals=%d combined with PhaseWindows=%d/PhaseClusters=%d; uniform and phase sampling are mutually exclusive",
+			o.Intervals, o.PhaseWindows, o.PhaseClusters)
+	}
+	if o.PhaseWindows <= 0 {
+		return fmt.Errorf("sample: PhaseWindows=%d; phase mode needs at least 1 window (set with PhaseClusters=%d)",
+			o.PhaseWindows, o.PhaseClusters)
+	}
+	if o.PhaseClusters <= 0 {
+		return fmt.Errorf("sample: PhaseClusters=%d; phase mode needs at least 1 cluster (set with PhaseWindows=%d)",
+			o.PhaseClusters, o.PhaseWindows)
+	}
+	if o.PhaseClusters > o.PhaseWindows {
+		return fmt.Errorf("sample: PhaseClusters=%d exceeds PhaseWindows=%d; cannot have more clusters than windows",
+			o.PhaseClusters, o.PhaseWindows)
+	}
+	if uint64(o.PhaseWindows) > total {
+		return fmt.Errorf("sample: PhaseWindows=%d exceeds the %d-instruction run; need at least one instruction per window",
+			o.PhaseWindows, total)
+	}
+	// Length is a uniform-mode knob: phase mode times whole windows, so the
+	// interval length is total/PhaseWindows by construction.
 	return nil
 }
 
@@ -80,15 +126,37 @@ type Estimate struct {
 	CPI stats.Sample
 	// Sums of the detailed per-core counters, for rate estimates.
 	L1DHits, L1DMisses, L2Loads, L2Stores uint64
+
+	// Phased marks a phase-mode estimate: WCPI holds the per-cluster CPI
+	// observations weighted by cluster instruction counts, PhaseCycles the
+	// stratified cycle estimate (sharpened in place by Calibrate when the
+	// caller has covariates), and PhaseCI the 95% confidence half-width on
+	// Cycles derived from within-cluster feature spread (RunPhased).
+	Phased      bool
+	WCPI        stats.Weighted
+	PhaseCycles float64
+	PhaseCI     float64
 }
 
 // Cycles estimates the full run's cycle count: Total × mean per-interval
-// CPI.
-func (e *Estimate) Cycles() float64 { return e.CPI.Mean() * float64(e.Total) }
+// CPI in uniform mode, the per-cluster stratified (or calibrated) sum in
+// phase mode.
+func (e *Estimate) Cycles() float64 {
+	if e.Phased {
+		return e.PhaseCycles
+	}
+	return e.CPI.Mean() * float64(e.Total)
+}
 
-// CyclesCI is the 95% confidence half-width on Cycles, from interval-to-
-// interval CPI variation.
-func (e *Estimate) CyclesCI() float64 { return e.CPI.CI95() * float64(e.Total) }
+// CyclesCI is the 95% confidence half-width on Cycles: interval-to-interval
+// CPI variation in uniform mode, the stratified within-cluster estimate in
+// phase mode.
+func (e *Estimate) CyclesCI() float64 {
+	if e.Phased {
+		return e.PhaseCI
+	}
+	return e.CPI.CI95() * float64(e.Total)
+}
 
 // Target is what a sampled measurement drives: anything that can advance
 // its instruction stream functionally (Warm) and time a detailed interval

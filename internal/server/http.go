@@ -22,6 +22,7 @@ import (
 //	                         queues behind a full pool instead of 429)
 //	GET  /v1/runs/{id}       look up a completed run by content address
 //	POST /v1/sweeps          run a grid, streamed back as NDJSON
+//	GET  /v1/profiles/{key}  look up a cached phase profile by content key
 //	GET  /v1/figures/{fig}   render a paper table/figure (text/plain)
 //	GET  /healthz            liveness (200 for the process lifetime)
 //	GET  /readyz             readiness (503 while draining)
@@ -31,6 +32,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/runs", s.handleRun)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	mux.HandleFunc("GET /v1/profiles/{key}", s.handleGetProfile)
 	mux.HandleFunc("GET /v1/figures/{fig}", s.handleFigure)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
@@ -184,6 +186,21 @@ func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 	}
 	rec.Cached = true
 	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleGetProfile is GET /v1/profiles/{key}: a pure phase-profile lookup
+// (memory or disk — Peek, never the fill hook), so a fleet peer asking
+// this node can only ever read what a local phase run already computed;
+// profile fetches never cascade. Absent means "not profiled yet (or
+// evicted)".
+func (s *Server) handleGetProfile(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	prof, ok := s.cfg.Profiles.Peek(key)
+	if !ok {
+		writeError(w, &httpError{status: 404, msg: "no cached phase profile with key " + key})
+		return
+	}
+	writeJSON(w, http.StatusOK, prof)
 }
 
 // figureGrid lists the (designs × benchmarks) a simulated figure needs.

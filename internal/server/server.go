@@ -56,6 +56,11 @@ type Config struct {
 	// built when nil). CheckpointDir adds a disk tier to the built store.
 	Checkpoints   *tlc.CheckpointStore
 	CheckpointDir string
+	// Profiles is the shared phase-profile store every phase-sampled run
+	// uses (an in-memory store is built when nil; CheckpointDir adds its
+	// disk tier too). GET /v1/profiles/{key} serves from it — Peek only, so
+	// a fleet's peer profile fetch can never recurse into computation.
+	Profiles *tlc.PhaseProfileStore
 	// BaseOptions are the options figure endpoints run with, and the
 	// defaults RunOptions expand against conceptually (clients always send
 	// explicit options; BaseOptions only drive /v1/figures). Zero means
@@ -194,6 +199,9 @@ func New(cfg Config) *Server {
 	if cfg.Checkpoints == nil {
 		cfg.Checkpoints = tlc.NewCheckpointStore(0, cfg.CheckpointDir)
 	}
+	if cfg.Profiles == nil {
+		cfg.Profiles = tlc.NewPhaseProfileStore(0, cfg.CheckpointDir)
+	}
 	if cfg.BaseOptions.RunInstructions == 0 {
 		base := tlc.DefaultOptions()
 		base.Seed = cfg.BaseOptions.Seed
@@ -248,6 +256,10 @@ func (s *Server) registerMetrics() {
 	ck := s.cfg.Checkpoints
 	s.reg.CounterFunc("server.checkpoints.hits", func() uint64 { return ck.Stats().Hits })
 	s.reg.CounterFunc("server.checkpoints.misses", func() uint64 { return ck.Stats().Misses })
+	pr := s.cfg.Profiles
+	s.reg.CounterFunc("server.profiles.hits", func() uint64 { return pr.Stats().Hits })
+	s.reg.CounterFunc("server.profiles.misses", func() uint64 { return pr.Stats().Misses })
+	s.reg.CounterFunc("server.profiles.fill_hits", func() uint64 { return pr.Stats().FillHits })
 	// The sim.lanes.* spine: how much grid warm-up the lane-parallel
 	// passes absorbed (/metricz exposes these next to the run counters).
 	s.reg.CounterFunc("sim.lanes.groups", s.nLaneGroups.Load)
@@ -560,6 +572,7 @@ func (s *Server) suiteFor(opt tlc.Options) *experiments.Suite {
 		return suite
 	}
 	opt.Checkpoints = s.cfg.Checkpoints
+	opt.PhaseProfiles = s.cfg.Profiles
 	suite := experiments.NewSuite(opt)
 	s.suites[ck] = suite
 	s.suiteUse.PushFront(ck)

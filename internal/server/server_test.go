@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -16,6 +17,7 @@ import (
 
 	"tlc"
 	"tlc/internal/api"
+	"tlc/internal/client"
 )
 
 // tinyOptions keeps real simulations fast where a test needs one.
@@ -860,5 +862,45 @@ func TestMetricz(t *testing.T) {
 	}
 	if vals["server.http.requests"] < 1 {
 		t.Error("metricz http.requests not counted")
+	}
+}
+
+// TestProfileEndpoint: GET /v1/profiles/{key} serves a locally cached
+// phase profile and answers 404 for an unknown key — a pure Peek, so a
+// fleet peer's profile fetch can never trigger work on this node.
+func TestProfileEndpoint(t *testing.T) {
+	profiles := tlc.NewPhaseProfileStore(0, "")
+	_, hs := newTestServer(t, Config{
+		Workers:  1,
+		Profiles: profiles,
+		execute: func(ctx context.Context, d tlc.Design, bench string, opt tlc.Options) (api.RunRecord, error) {
+			return stubRecord(d, bench), nil
+		},
+	})
+	cl := client.New(hs.URL, nil)
+
+	if _, ok, err := cl.GetProfile(context.Background(), "nope"); err != nil || ok {
+		t.Fatalf("unknown key: ok=%v err=%v, want a clean 404 miss", ok, err)
+	}
+
+	want := tlc.PhaseProfile{
+		Version:  1,
+		Key:      "k1",
+		Total:    200_000,
+		Windows:  2,
+		Clusters: 1,
+		Features: [][]float64{{1, 2}, {3, 4}},
+		Instr:    []uint64{100_000, 100_000},
+		Assign:   []int{0, 0},
+		Reps:     []int{0},
+		Weights:  []uint64{200_000},
+	}
+	profiles.Put("k1", want)
+	got, ok, err := cl.GetProfile(context.Background(), "k1")
+	if err != nil || !ok {
+		t.Fatalf("cached key: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("profile round-trip mismatch:\ngot  %+v\nwant %+v", got, want)
 	}
 }

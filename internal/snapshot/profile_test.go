@@ -1,0 +1,160 @@
+package snapshot
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tlc/internal/sample"
+)
+
+// testProfile builds a small but fully-populated profile; idx varies the
+// contents so distinct keys hold distinct profiles.
+func testProfile(key string, idx int) sample.Profile {
+	return sample.Profile{
+		Version:  sample.ProfileFormat,
+		Key:      key,
+		Total:    uint64(1000 * (idx + 1)),
+		Windows:  4,
+		Clusters: 2,
+		Features: [][]float64{{1, float64(idx)}, {2, 0}, {3, 1}, {4, 2}},
+		Instr:    []uint64{250, 250, 250, 250},
+		Assign:   []int{0, 0, 1, 1},
+		Reps:     []int{0, 2},
+		Weights:  []uint64{500, 500},
+	}
+}
+
+func TestProfileStoreMemoryRoundTrip(t *testing.T) {
+	s := NewProfileStore(4, "")
+	want := testProfile("a", 0)
+	s.Put("a", want)
+	got, ok := s.Get("a")
+	if !ok || !reflect.DeepEqual(got, want) {
+		t.Fatalf("Get after Put: ok=%v got=%+v", ok, got)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Error("Get of an absent key hit")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Errorf("stats %+v, want 1 hit / 1 miss / 1 put", st)
+	}
+}
+
+func TestProfileStoreLRUEviction(t *testing.T) {
+	s := NewProfileStore(2, "")
+	s.Put("a", testProfile("a", 0))
+	s.Put("b", testProfile("b", 1))
+	s.Get("a") // refresh a: b is now the LRU entry
+	s.Put("c", testProfile("c", 2))
+	if _, ok := s.Peek("b"); ok {
+		t.Error("LRU entry b survived eviction")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := s.Peek(k); !ok {
+			t.Errorf("recently-used entry %s evicted", k)
+		}
+	}
+}
+
+func TestProfileStoreDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	want := testProfile("a", 0)
+	NewProfileStore(4, dir).Put("a", want)
+
+	// A fresh store over the same directory — a later process — reads the
+	// profile back from disk.
+	fresh := NewProfileStore(4, dir)
+	got, ok := fresh.Get("a")
+	if !ok || !reflect.DeepEqual(got, want) {
+		t.Fatalf("disk read-back: ok=%v got=%+v", ok, got)
+	}
+	st := fresh.Stats()
+	if st.DiskHits != 1 {
+		t.Errorf("stats %+v, want 1 disk hit", st)
+	}
+	if err := fresh.DiskErr(); err != nil {
+		t.Errorf("disk error %v on a clean round-trip", err)
+	}
+}
+
+// TestProfileStoreTruncatedFileIsAMiss pins the corruption contract: a
+// torn or truncated on-disk profile — possible only outside the atomic
+// temp-file + rename write path — degrades to a miss (the caller
+// recomputes) instead of an error or, worse, a garbage clustering.
+func TestProfileStoreTruncatedFileIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	NewProfileStore(4, dir).Put("a", testProfile("a", 0))
+
+	files, err := filepath.Glob(filepath.Join(dir, "prof-*.gob"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("profile files on disk: %v (%v)", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewProfileStore(4, dir)
+	if _, ok := fresh.Get("a"); ok {
+		t.Fatal("truncated profile served as a hit")
+	}
+	if fresh.Stats().Misses != 1 {
+		t.Errorf("stats %+v, want a miss", fresh.Stats())
+	}
+	if fresh.DiskErr() == nil {
+		t.Error("truncated profile left no diagnostic in DiskErr")
+	}
+	// The store still works: a recompute overwrites the torn file and the
+	// next process reads it back intact.
+	want := testProfile("a", 5)
+	fresh.Put("a", want)
+	got, ok := NewProfileStore(4, dir).Get("a")
+	if !ok || !reflect.DeepEqual(got, want) {
+		t.Fatal("recomputed profile did not replace the torn file")
+	}
+}
+
+func TestProfileStoreFillHook(t *testing.T) {
+	dir := t.TempDir()
+	s := NewProfileStore(4, dir)
+	want := testProfile("a", 3)
+	fills := 0
+	s.SetFill(func(key string) (sample.Profile, bool) {
+		fills++
+		if key == "a" {
+			return want, true
+		}
+		return sample.Profile{}, false
+	})
+
+	// Peek never consults the hook: that is what makes peer fills
+	// recursion-free.
+	if _, ok := s.Peek("a"); ok || fills != 0 {
+		t.Fatalf("Peek consulted the fill hook (%d fills)", fills)
+	}
+	got, ok := s.Get("a")
+	if !ok || !reflect.DeepEqual(got, want) {
+		t.Fatalf("fill hit: ok=%v", ok)
+	}
+	if st := s.Stats(); st.FillHits != 1 {
+		t.Errorf("stats %+v, want 1 fill hit", st)
+	}
+	// The fill hit landed in both tiers: a repeat Get is local, and a fresh
+	// store finds it on disk.
+	if _, ok := s.Get("a"); !ok || fills != 1 {
+		t.Errorf("second Get went back to the hook (%d fills)", fills)
+	}
+	if _, ok := NewProfileStore(4, dir).Get("a"); !ok {
+		t.Error("fill hit not persisted to the disk tier")
+	}
+	// A hook miss is a plain miss.
+	if _, ok := s.Get("b"); ok {
+		t.Error("hook miss reported as a hit")
+	}
+}

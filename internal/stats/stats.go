@@ -327,6 +327,87 @@ func (s *Sample) CI95() float64 {
 	return 1.96 * s.StdDev() / math.Sqrt(float64(s.n))
 }
 
+// Weighted accumulates weighted scalar observations and reports their
+// weighted mean with a 95% confidence interval — the aggregation phase-aware
+// sampling applies to per-cluster CPI and counter rates, where each
+// representative interval stands in for a cluster of windows and its weight
+// is the cluster's instruction count. West's incremental algorithm keeps the
+// variance numerically stable without storing observations. The struct holds
+// only scalar fields so values containing it stay comparable with ==.
+type Weighted struct {
+	sumw  float64 // Σw
+	sumw2 float64 // Σw²
+	mean  float64
+	m2    float64 // weighted sum of squared deviations from the running mean
+	n     uint64
+}
+
+// Observe records one observation x with weight w; non-positive weights are
+// ignored.
+func (s *Weighted) Observe(x, w float64) {
+	if w <= 0 {
+		return
+	}
+	s.n++
+	s.sumw += w
+	s.sumw2 += w * w
+	d := x - s.mean
+	s.mean += (w / s.sumw) * d
+	s.m2 += w * d * (x - s.mean)
+}
+
+// N reports the number of observations (not the total weight).
+func (s *Weighted) N() uint64 { return s.n }
+
+// SumWeights reports the total weight observed.
+func (s *Weighted) SumWeights() float64 { return s.sumw }
+
+// Mean reports the weighted mean (0 when empty).
+func (s *Weighted) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.mean
+}
+
+// EffectiveN is Kish's effective sample size (Σw)²/Σw²: the number of
+// equal-weight observations carrying the same information. It equals N for
+// uniform weights and shrinks as the weights skew.
+func (s *Weighted) EffectiveN() float64 {
+	if s.sumw2 == 0 {
+		return 0
+	}
+	return s.sumw * s.sumw / s.sumw2
+}
+
+// StdDev reports the weighted sample standard deviation with the
+// reliability-weights Bessel correction (0 with fewer than two
+// observations).
+func (s *Weighted) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	denom := s.sumw - s.sumw2/s.sumw
+	if denom <= 0 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / denom)
+}
+
+// CI95 reports the half-width of the normal-approximation 95% confidence
+// interval on the weighted mean: 1.96·s/√n_eff. With fewer than two
+// observations the spread is unknowable and CI95 is 0.
+func (s *Weighted) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	neff := s.EffectiveN()
+	if neff <= 0 {
+		return 0
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(neff)
+}
+
 // SortedKeys returns the keys of m in sorted order; a helper for rendering
 // deterministic tables from map-shaped results.
 func SortedKeys(m map[string]float64) []string {

@@ -359,3 +359,57 @@ func TestStdDevUsesOverflowMean(t *testing.T) {
 		t.Fatalf("in-range StdDev = %v, want 1", got)
 	}
 }
+
+func TestWeightedMatchesSampleOnUniformWeights(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 10}
+	var s Sample
+	var w Weighted
+	for _, x := range xs {
+		s.Observe(x)
+		w.Observe(x, 7) // any constant weight
+	}
+	if w.N() != uint64(len(xs)) || w.SumWeights() != 7*float64(len(xs)) {
+		t.Fatalf("n=%d sumw=%v", w.N(), w.SumWeights())
+	}
+	if math.Abs(w.Mean()-s.Mean()) > 1e-12 {
+		t.Errorf("weighted mean %v, unweighted %v", w.Mean(), s.Mean())
+	}
+	if math.Abs(w.StdDev()-s.StdDev()) > 1e-12 {
+		t.Errorf("weighted stddev %v, unweighted %v", w.StdDev(), s.StdDev())
+	}
+	if math.Abs(w.CI95()-s.CI95()) > 1e-12 {
+		t.Errorf("weighted CI %v, unweighted %v", w.CI95(), s.CI95())
+	}
+	if math.Abs(w.EffectiveN()-float64(len(xs))) > 1e-12 {
+		t.Errorf("effective n %v for uniform weights, want %d", w.EffectiveN(), len(xs))
+	}
+}
+
+func TestWeightedSkewedWeights(t *testing.T) {
+	var w Weighted
+	w.Observe(1, 90)
+	w.Observe(11, 10)
+	if got, want := w.Mean(), 2.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("mean %v, want %v", got, want)
+	}
+	// Kish: (100)²/(8100+100) = 1.2195...: far below the raw n of 2.
+	if got := w.EffectiveN(); math.Abs(got-10000.0/8200.0) > 1e-12 {
+		t.Errorf("effective n %v", got)
+	}
+}
+
+func TestWeightedDegenerate(t *testing.T) {
+	var w Weighted
+	if w.Mean() != 0 || w.StdDev() != 0 || w.CI95() != 0 || w.EffectiveN() != 0 {
+		t.Error("empty Weighted reports non-zero statistics")
+	}
+	w.Observe(5, 0)  // ignored
+	w.Observe(5, -1) // ignored
+	if w.N() != 0 {
+		t.Error("non-positive weights observed")
+	}
+	w.Observe(5, 3)
+	if w.Mean() != 5 || w.StdDev() != 0 || w.CI95() != 0 {
+		t.Error("single observation: want mean only, zero spread")
+	}
+}

@@ -117,9 +117,27 @@ type Options struct {
 	// are estimated from per-interval CPI; RunSampled additionally
 	// reports 95% confidence intervals.
 	SampleIntervals int
-	// SampleLength is the detailed instructions per interval (used only
-	// when SampleIntervals > 0).
+	// SampleLength is the detailed instructions per interval (used by both
+	// uniform sampling and phase mode).
 	SampleLength uint64
+
+	// PhaseWindows and PhaseClusters, both positive, switch timing to
+	// phase-aware representative sampling: a cheap profiling pass slices
+	// the timed stream into PhaseWindows fixed windows, k-means clusters
+	// their feature vectors into PhaseClusters program phases
+	// (deterministically, seeded from the profile's content key), and one
+	// weighted representative interval of SampleLength instructions runs
+	// per cluster — typically several times fewer detailed intervals than
+	// uniform sampling at the same accuracy. Mutually exclusive with
+	// SampleIntervals.
+	PhaseWindows  int
+	PhaseClusters int
+
+	// PhaseProfiles, when non-nil, caches phase profiles keyed by workload
+	// content (the profile is design-independent, so one entry serves all
+	// six designs of a benchmark). Clustering is then paid once per
+	// benchmark; see NewPhaseProfileStore. A miss recomputes and stores.
+	PhaseProfiles *PhaseProfileStore
 
 	// Cancel, when non-nil, is polled at batch boundaries (every few
 	// thousand instructions) during warm-up and timed execution. When it
@@ -167,8 +185,21 @@ type MetricsEvent struct {
 
 // SampleOptions projects the sampling fields.
 func (o Options) SampleOptions() sample.Options {
-	return sample.Options{Intervals: o.SampleIntervals, Length: o.SampleLength}
+	return sample.Options{
+		Intervals:     o.SampleIntervals,
+		Length:        o.SampleLength,
+		PhaseWindows:  o.PhaseWindows,
+		PhaseClusters: o.PhaseClusters,
+	}
 }
+
+// phaseMode reports whether the options request phase-aware sampling
+// (possibly half-configured; validation names the missing field).
+func (o Options) phaseMode() bool { return o.PhaseWindows > 0 || o.PhaseClusters > 0 }
+
+// sampledMode reports whether the options request any sampled execution —
+// uniform intervals or phase-aware representatives.
+func (o Options) sampledMode() bool { return o.SampleIntervals > 0 || o.phaseMode() }
 
 // SharingSpec parameterizes cross-core sharing in CMP runs; see
 // workload.SharingSpec.
@@ -208,13 +239,38 @@ func (o Options) cmpConfig() CMPConfig {
 // singleCoreCMP is the CMP axis of every pre-CMP run.
 func singleCoreCMP() CMPConfig { return CMPConfig{Cores: 1} }
 
-// Validate checks the options for configurations a run would reject —
-// currently the CMP axis: a negative core count, more cores than the
-// 64-wide directory bitmap holds, or an unknown sharing pattern. The run
-// entry points validate internally; CLIs and the service call this early
-// so a bad flag or request fails with the same one-line error before any
-// simulation starts.
-func (o Options) Validate() error { return o.validateCMP() }
+// Validate checks the options for configurations a run would reject: the
+// CMP axis (a negative core count, more cores than the 64-wide directory
+// bitmap holds, an unknown sharing pattern) and impossible sampling-field
+// combinations. The run entry points validate internally; CLIs and the
+// service call this early so a bad flag or request fails with the same
+// one-line error before any simulation starts. Length-dependent sampling
+// checks (the detailed plan fitting RunInstructions) stay at run time in
+// sample.Options.Validate.
+func (o Options) Validate() error {
+	if err := o.validateCMP(); err != nil {
+		return err
+	}
+	if o.phaseMode() {
+		if o.SampleIntervals > 0 {
+			return fmt.Errorf("sample: Intervals=%d combined with PhaseWindows=%d/PhaseClusters=%d; uniform and phase sampling are mutually exclusive",
+				o.SampleIntervals, o.PhaseWindows, o.PhaseClusters)
+		}
+		if o.PhaseWindows <= 0 {
+			return fmt.Errorf("sample: PhaseWindows=%d; phase mode needs at least 1 window (set with PhaseClusters=%d)",
+				o.PhaseWindows, o.PhaseClusters)
+		}
+		if o.PhaseClusters <= 0 {
+			return fmt.Errorf("sample: PhaseClusters=%d; phase mode needs at least 1 cluster (set with PhaseWindows=%d)",
+				o.PhaseClusters, o.PhaseWindows)
+		}
+		if o.PhaseClusters > o.PhaseWindows {
+			return fmt.Errorf("sample: PhaseClusters=%d exceeds PhaseWindows=%d; cannot have more clusters than windows",
+				o.PhaseClusters, o.PhaseWindows)
+		}
+	}
+	return nil
+}
 
 // validateCMP rejects impossible CMP options before a run executes.
 func (o Options) validateCMP() error {
@@ -240,6 +296,25 @@ type CheckpointStore = snapshot.Store
 // adds a persistent tier shared across processes (the CLIs' -ckptdir).
 func NewCheckpointStore(capacity int, dir string) *CheckpointStore {
 	return snapshot.NewStore(capacity, dir)
+}
+
+// PhaseProfile is one workload's phase-clustering result: per-window
+// feature vectors, the cluster assignment, and the representative window
+// per cluster a phase-sampled run simulates in detail. Profiles are keyed
+// by workload content (not design), so one profile serves every L2 design
+// and every node in a fleet.
+type PhaseProfile = sample.Profile
+
+// PhaseProfileStore caches phase profiles: an in-process LRU with an
+// optional on-disk tier (atomic writes, corrupt-degrades-to-recompute) and
+// a fill hook the fleet layer uses for peer fetch.
+type PhaseProfileStore = snapshot.ProfileStore
+
+// NewPhaseProfileStore builds a profile store holding up to capacity
+// profiles in memory (a default when capacity <= 0). A non-empty dir adds
+// a persistent tier shared across processes (the CLIs' -ckptdir).
+func NewPhaseProfileStore(capacity int, dir string) *PhaseProfileStore {
+	return snapshot.NewProfileStore(capacity, dir)
 }
 
 // DefaultOptions returns the standard scaled run: automatic functional
@@ -557,6 +632,8 @@ func (o Options) ContentKey() string {
 	k.u64(uint64(o.WarmSeed))
 	k.i(o.SampleIntervals)
 	k.u64(o.SampleLength)
+	k.i(o.PhaseWindows)
+	k.i(o.PhaseClusters)
 	k.cmp(o.cmpConfig())
 	return k.sum()
 }
@@ -687,7 +764,7 @@ func RunSpec(d Design, spec workload.Spec, opt Options) (Result, error) {
 	if err := opt.validateCMP(); err != nil {
 		return Result{}, err
 	}
-	if opt.SampleIntervals > 0 {
+	if opt.sampledMode() {
 		sres, err := RunSpecSampled(d, spec, opt)
 		return sres.Result, err
 	}
@@ -802,6 +879,12 @@ func RunSpecSampled(d Design, spec workload.Spec, opt Options) (SampledResult, e
 	}
 	if err := opt.validateCMP(); err != nil {
 		return SampledResult{}, err
+	}
+	if sopt.Phase() {
+		if opt.cores() > 1 {
+			return runSpecCMPPhased(d, spec, opt, sopt)
+		}
+		return runSpecPhased(d, spec, opt, sopt)
 	}
 	if opt.cores() > 1 {
 		return runSpecCMPSampled(d, spec, opt)
