@@ -233,6 +233,41 @@ func BenchmarkFullScaleSampledSpeedup(b *testing.B) {
 	b.ReportMetric(float64(fastNS.Milliseconds())/float64(b.N), "sampled_ms_per_run")
 }
 
+func BenchmarkFullScaleFastSpeedup(b *testing.B) {
+	// The fast-tier perf acceptance gate, same shape as
+	// BenchmarkFullScaleSampledSpeedup: a full-scale run (16 M warm + 2 M
+	// timed) against the fast tier restoring its checkpoint and running the
+	// calibrated in-order model must be ≥5× faster in wall-clock, with the
+	// accuracy side covered by the committed CALIBRATION.json bounds
+	// (TestFastTierErrorWithinCalibratedBounds).
+	opt := Options{WarmInstructions: 16_000_000, RunInstructions: 2_000_000, Seed: 1}
+	fast := opt
+	fast.Fidelity = FidelityFast
+	fast.Checkpoints = NewCheckpointStore(0, "")
+	// Populate the fast tier's checkpoint outside the timed region.
+	if _, err := Run(DesignTLC, "gcc", fast); err != nil {
+		b.Fatal(err)
+	}
+	var fullNS, fastNS time.Duration
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := Run(DesignTLC, "gcc", opt); err != nil {
+			b.Fatal(err)
+		}
+		t1 := time.Now()
+		if _, err := Run(DesignTLC, "gcc", fast); err != nil {
+			b.Fatal(err)
+		}
+		fullNS += t1.Sub(t0)
+		fastNS += time.Since(t1)
+		speedup = float64(fullNS) / float64(fastNS)
+	}
+	b.ReportMetric(speedup, "fast_speedup")
+	b.ReportMetric(float64(fullNS.Milliseconds())/float64(b.N), "full_ms_per_run")
+	b.ReportMetric(float64(fastNS.Milliseconds())/float64(b.N), "fast_ms_per_run")
+}
+
 func BenchmarkWarmThroughput(b *testing.B) {
 	// The batched-delivery acceptance gate: the warm fast path (MemStream
 	// run-length skipping + fused L1 scan + bulk L2 installs) against the

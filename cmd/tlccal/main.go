@@ -1,0 +1,151 @@
+// Command tlccal builds and checks the fast-tier calibration artifact
+// (internal/calibrate/CALIBRATION.json): it runs every benchmark on every
+// design at both fidelity tiers, fits per-benchmark error statistics
+// (cycle-weighted bias + spread on cycles and IPC), and either writes the
+// artifact or — with -against — rebuilds from scratch and diffs against a
+// committed artifact with a per-benchmark drift tolerance. CI runs the
+// check mode (scripts/calibration_check.sh), so a fast-core change that
+// silently shifts error fails the build until the artifact is regenerated
+// and re-committed with -out.
+//
+// Both tiers run at the artifact's recorded scale with deterministic
+// integer cycle counts, so a rebuild on unchanged code reproduces the
+// committed statistics exactly; the tolerance exists for deliberate,
+// reviewed drift, not platform noise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"tlc"
+	"tlc/internal/calibrate"
+	"tlc/internal/experiments"
+)
+
+func main() {
+	warm := flag.Uint64("warm", 2_000_000, "warm instructions per run")
+	run := flag.Uint64("run", 200_000, "timed instructions per run")
+	seed := flag.Int64("seed", 1, "workload seed")
+	par := flag.Int("par", runtime.NumCPU(), "simulation parallelism")
+	out := flag.String("out", "internal/calibrate/CALIBRATION.json", "artifact output path")
+	version := flag.Int("version", 1, "artifact version to stamp when writing")
+	against := flag.String("against", "", "committed artifact to check: rebuild at its recorded scale and diff instead of writing")
+	tol := flag.Float64("tol", 0.25, "per-benchmark drift tolerance for -against, in percentage points on bias and spread")
+	flag.Parse()
+
+	scale := calibrate.Scale{
+		WarmInstructions: *warm,
+		RunInstructions:  *run,
+		Seed:             *seed,
+		Designs:          len(tlc.Designs()),
+	}
+	var committed *calibrate.Artifact
+	if *against != "" {
+		a, err := calibrate.Load(*against)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlccal: %v\n", err)
+			os.Exit(1)
+		}
+		committed = a
+		// Rebuild at the committed scale so the diff compares the same
+		// experiment, whatever this invocation's scale flags say.
+		scale = a.Scale
+	}
+
+	cells, err := measure(scale, *par)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlccal: %v\n", err)
+		os.Exit(1)
+	}
+	ver := *version
+	if committed != nil {
+		ver = committed.Version
+	}
+	art := calibrate.Fit(cells, scale, ver)
+
+	if committed != nil {
+		bad := calibrate.Compare(committed, art, *tol)
+		if len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "tlccal: calibration drift vs %s (tol %.3fpp):\n", *against, *tol)
+			for _, line := range bad {
+				fmt.Fprintf(os.Stderr, "  %s\n", line)
+			}
+			fmt.Fprintf(os.Stderr, "regenerate with: go run ./cmd/tlccal -out %s (then review and commit)\n", *against)
+			os.Exit(1)
+		}
+		fmt.Printf("calibration check passed: %d benchmarks within %.3fpp of %s\n",
+			len(committed.Benchmarks), *tol, *against)
+		return
+	}
+
+	buf, err := art.Marshal()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlccal: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "tlccal: %v\n", err)
+		os.Exit(1)
+	}
+	worst := 0.0
+	for _, b := range art.Benchmarks {
+		for _, v := range []float64{b.Cycles.MinPct, b.Cycles.MaxPct} {
+			if v < 0 {
+				v = -v
+			}
+			if v > worst {
+				worst = v
+			}
+		}
+	}
+	fmt.Printf("wrote %s: version %d, %d benchmarks x %d designs, worst |cycle error| %.2f%%\n",
+		*out, art.Version, len(art.Benchmarks), scale.Designs, worst)
+}
+
+// measure runs the full grid at both tiers and pairs the results into
+// calibration cells. Each tier gets its own suite (checkpoints key on the
+// fidelity tier, so there is nothing to share across them).
+func measure(scale calibrate.Scale, par int) ([]calibrate.Cell, error) {
+	designs := tlc.Designs()
+	benches := tlc.Benchmarks()
+	suite := func(fidelity string) (*experiments.Suite, error) {
+		opt := tlc.DefaultOptions()
+		opt.WarmInstructions = scale.WarmInstructions
+		opt.RunInstructions = scale.RunInstructions
+		opt.Seed = scale.Seed
+		opt.Fidelity = fidelity
+		opt.Checkpoints = tlc.NewCheckpointStore(len(designs)*len(benches), "")
+		s := experiments.NewSuite(opt)
+		if err := s.RunAll(designs, benches, par); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	fullS, err := suite(tlc.FidelityFull)
+	if err != nil {
+		return nil, err
+	}
+	fastS, err := suite(tlc.FidelityFast)
+	if err != nil {
+		return nil, err
+	}
+	var cells []calibrate.Cell
+	for _, d := range designs {
+		for _, b := range benches {
+			fu := fullS.Run(d, b)
+			fa := fastS.Run(d, b)
+			cells = append(cells, calibrate.Cell{
+				Design:     d.String(),
+				Benchmark:  b,
+				FullCycles: fu.Cycles,
+				FastCycles: fa.Cycles,
+				FullIPC:    fu.IPC,
+				FastIPC:    fa.IPC,
+			})
+		}
+	}
+	return cells, nil
+}

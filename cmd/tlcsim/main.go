@@ -52,10 +52,15 @@ type runJSON struct {
 	MissesPer1KCI        float64 `json:"misses_per_1k_ci,omitempty"`
 	SampleIntervals      int     `json:"sample_intervals,omitempty"`
 	DetailedInstructions uint64  `json:"detailed_instructions,omitempty"`
+
+	// Fast-tier extras: the fidelity tier and its committed calibration
+	// envelope. Omitted on full-tier runs.
+	Fidelity   string          `json:"fidelity,omitempty"`
+	ErrorBound *tlc.ErrorBound `json:"error_bound,omitempty"`
 }
 
-func toJSON(r tlc.Result) runJSON {
-	return runJSON{
+func toJSON(r tlc.Result, fidelity string) runJSON {
+	j := runJSON{
 		Design:          r.Design.String(),
 		Benchmark:       r.Benchmark,
 		Instructions:    r.Instructions,
@@ -70,10 +75,15 @@ func toJSON(r tlc.Result) runJSON {
 		LinkUtilization: r.LinkUtilization,
 		NetworkPowerW:   r.NetworkPowerW,
 	}
+	if fidelity == tlc.FidelityFast {
+		j.Fidelity = fidelity
+		j.ErrorBound = r.ErrorBound
+	}
+	return j
 }
 
-func toJSONSampled(sr tlc.SampledResult) runJSON {
-	j := toJSON(sr.Result)
+func toJSONSampled(sr tlc.SampledResult, fidelity string) runJSON {
+	j := toJSON(sr.Result, fidelity)
 	j.CyclesCI = sr.CyclesCI
 	j.MeanLookupCI = sr.MeanLookupCI
 	j.MissesPer1KCI = sr.MissesPer1KCI
@@ -141,10 +151,10 @@ func main() {
 						fmt.Fprintln(os.Stderr, err)
 						os.Exit(2)
 					}
-					out = append(out, toJSONSampled(sr))
+					out = append(out, toJSONSampled(sr, opt.FidelityTier()))
 					continue
 				}
-				out = append(out, toJSON(s.Run(d, b)))
+				out = append(out, toJSON(s.Run(d, b), opt.FidelityTier()))
 			}
 		}
 		enc := json.NewEncoder(os.Stdout)

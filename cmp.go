@@ -61,7 +61,7 @@ func prepareCMP(d Design, spec workload.Spec, opt Options) (l2.Instrumented, *ma
 	workload.RegisterMetricsSum(reg, gens)
 	shd.RegisterMetrics(reg)
 
-	key := snapshot.Key{Config: configHash(d, spec, opt.cmpConfig()), Bench: spec.Name, Seed: warmSeed, Warm: warm}
+	key := snapshot.Key{Config: configHash(d, spec, opt.cmpConfig(), opt.fidelity()), Bench: spec.Name, Seed: warmSeed, Warm: warm}
 	restored := false
 	if opt.Checkpoints != nil {
 		if ckp, ok := opt.Checkpoints.Get(key); ok {

@@ -1,0 +1,248 @@
+package tlc_test
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"tlc"
+	"tlc/internal/calibrate"
+	"tlc/internal/experiments"
+)
+
+// TestFidelityInRunKey pins the tier into run identity: fast and full runs
+// of the same configuration must never share a cached result, a
+// checkpoint, or a fleet owner slot, while the empty tier aliases "full"
+// exactly so every pre-fidelity key stays valid.
+func TestFidelityInRunKey(t *testing.T) {
+	opt := tlc.Options{WarmInstructions: 100_000, RunInstructions: 50_000, Seed: 1}
+	full := opt
+	full.Fidelity = tlc.FidelityFull
+	fast := opt
+	fast.Fidelity = tlc.FidelityFast
+
+	if got, want := tlc.RunKey(tlc.DesignTLC, "gcc", opt), tlc.RunKey(tlc.DesignTLC, "gcc", full); got != want {
+		t.Errorf("empty fidelity must alias %q: RunKey %q != %q", tlc.FidelityFull, got, want)
+	}
+	if opt.ContentKey() != full.ContentKey() {
+		t.Errorf("empty fidelity must alias %q in ContentKey", tlc.FidelityFull)
+	}
+	if tlc.RunKey(tlc.DesignTLC, "gcc", opt) == tlc.RunKey(tlc.DesignTLC, "gcc", fast) {
+		t.Error("fast and full tiers share a RunKey")
+	}
+	if opt.ContentKey() == fast.ContentKey() {
+		t.Error("fast and full tiers share a ContentKey")
+	}
+
+	bad := opt
+	bad.Fidelity = "turbo"
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted unknown fidelity tier")
+	}
+	cmp := fast
+	cmp.Cores = 2
+	if err := cmp.Validate(); err == nil {
+		t.Error("Validate accepted fast fidelity with Cores=2")
+	}
+}
+
+// TestFastTierAttachesErrorBound pins the error contract surface: a fast
+// run of a calibrated benchmark carries the committed envelope (stamped
+// with the artifact version), a full run carries none.
+func TestFastTierAttachesErrorBound(t *testing.T) {
+	opt := tlc.Options{WarmInstructions: 100_000, RunInstructions: 50_000, Seed: 1, Fidelity: tlc.FidelityFast}
+	res, err := tlc.Run(tlc.DesignTLC, "gcc", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ErrorBound == nil {
+		t.Fatal("fast result has no ErrorBound")
+	}
+	if res.ErrorBound.Benchmark != "gcc" {
+		t.Errorf("ErrorBound.Benchmark = %q, want gcc", res.ErrorBound.Benchmark)
+	}
+	art := calibrate.Default()
+	if art == nil {
+		t.Fatal("committed calibration artifact failed to parse")
+	}
+	if res.ErrorBound.CalibrationVersion != art.Version {
+		t.Errorf("ErrorBound.CalibrationVersion = %d, want %d", res.ErrorBound.CalibrationVersion, art.Version)
+	}
+	if res.ErrorBound.CyclesLoPct >= res.ErrorBound.CyclesHiPct {
+		t.Errorf("degenerate cycles interval [%f, %f]", res.ErrorBound.CyclesLoPct, res.ErrorBound.CyclesHiPct)
+	}
+
+	opt.Fidelity = tlc.FidelityFull
+	res, err = tlc.Run(tlc.DesignTLC, "gcc", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ErrorBound != nil {
+		t.Error("full result carries an ErrorBound")
+	}
+}
+
+// TestFastTierDeterministicAcrossPar pins fast-tier reproducibility under
+// the suite's worker parallelism: the same grid at -par 1 and -par N must
+// produce identical results, ErrorBound included.
+func TestFastTierDeterministicAcrossPar(t *testing.T) {
+	designs := []tlc.Design{tlc.DesignTLC, tlc.DesignSNUCA2}
+	benches := []string{"gcc", "mcf", "equake"}
+	run := func(par int) []tlc.Result {
+		opt := tlc.DefaultOptions()
+		opt.WarmInstructions = 500_000
+		opt.RunInstructions = 100_000
+		opt.Seed = 1
+		opt.Fidelity = tlc.FidelityFast
+		opt.Checkpoints = tlc.NewCheckpointStore(len(designs)*len(benches), "")
+		s := experiments.NewSuite(opt)
+		if err := s.RunAll(designs, benches, par); err != nil {
+			t.Fatal(err)
+		}
+		var out []tlc.Result
+		for _, d := range designs {
+			for _, b := range benches {
+				out = append(out, s.Run(d, b))
+			}
+		}
+		return out
+	}
+	serial := run(1)
+	parallel := run(runtime.NumCPU())
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("fast tier diverges across parallelism:\n-par 1: %+v\n-par N: %+v", serial, parallel)
+	}
+}
+
+// TestFastTierCheckpointRoundTrip pins warm/restore interop on the fast
+// tier: a run that restores a checkpoint must be bit-identical to the run
+// that produced it, and the checkpoint must key on the tier (a full-tier
+// store entry never serves a fast run).
+func TestFastTierCheckpointRoundTrip(t *testing.T) {
+	opt := tlc.Options{WarmInstructions: 500_000, RunInstructions: 100_000, Seed: 1, Fidelity: tlc.FidelityFast}
+	opt.Checkpoints = tlc.NewCheckpointStore(0, "")
+	cold, err := tlc.Run(tlc.DesignTLC, "gcc", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := tlc.Run(tlc.DesignTLC, "gcc", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, restored) {
+		t.Fatalf("restored fast run differs from cold run:\ncold:     %+v\nrestored: %+v", cold, restored)
+	}
+}
+
+// TestFastTierCMPNormalization pins the N=1 normalization on the fast
+// tier: Cores=1 with any sharing spec is the single-core machine, same key
+// and same result as the plain options.
+func TestFastTierCMPNormalization(t *testing.T) {
+	plain := tlc.Options{WarmInstructions: 200_000, RunInstructions: 50_000, Seed: 1, Fidelity: tlc.FidelityFast}
+	cmp := plain
+	cmp.Cores = 1
+	cmp.Sharing = tlc.SharingSpec{Pattern: "read-mostly", SharedFrac: 0.5}
+	if tlc.RunKey(tlc.DesignTLC, "gcc", plain) != tlc.RunKey(tlc.DesignTLC, "gcc", cmp) {
+		t.Error("Cores=1 fast run keys differently from the plain single-core run")
+	}
+	a, err := tlc.Run(tlc.DesignTLC, "gcc", plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tlc.Run(tlc.DesignTLC, "gcc", cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Cores=1 fast run differs from plain run:\nplain: %+v\ncmp:   %+v", a, b)
+	}
+}
+
+// TestFastTierComposesWithSampling pins the orthogonal axes: the fast tier
+// under uniform sampling and under phase mode runs clean and still carries
+// the calibrated envelope.
+func TestFastTierComposesWithSampling(t *testing.T) {
+	base := tlc.Options{WarmInstructions: 500_000, RunInstructions: 200_000, Seed: 1, Fidelity: tlc.FidelityFast}
+
+	sampled := base
+	sampled.SampleIntervals = 10
+	sampled.SampleLength = 2_000
+	sres, err := tlc.RunSampled(tlc.DesignTLC, "gcc", sampled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.ErrorBound == nil {
+		t.Error("sampled fast result has no ErrorBound")
+	}
+
+	phased := base
+	phased.PhaseWindows = 10
+	phased.PhaseClusters = 4
+	phased.SampleLength = 2_000
+	pres, err := tlc.RunSampled(tlc.DesignTLC, "gcc", phased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.ErrorBound == nil {
+		t.Error("phase-sampled fast result has no ErrorBound")
+	}
+}
+
+// TestFastTierErrorWithinCalibratedBounds is the accuracy acceptance gate:
+// every benchmark × design cell, re-measured at the committed artifact's
+// recorded scale, must land inside the artifact's observed error interval.
+// Both tiers are deterministic, so the slack over the recorded extremes is
+// a hair of float formatting, not a tolerance for drift — drift beyond it
+// means the artifact must be regenerated (go run ./cmd/tlccal -out).
+func TestFastTierErrorWithinCalibratedBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 12x6x2-tier grid: skipped in -short")
+	}
+	art := calibrate.Default()
+	if art == nil {
+		t.Fatal("committed calibration artifact failed to parse")
+	}
+	designs := tlc.Designs()
+	benches := tlc.Benchmarks()
+	suite := func(fidelity string) *experiments.Suite {
+		opt := tlc.DefaultOptions()
+		opt.WarmInstructions = art.Scale.WarmInstructions
+		opt.RunInstructions = art.Scale.RunInstructions
+		opt.Seed = art.Scale.Seed
+		opt.Fidelity = fidelity
+		opt.Checkpoints = tlc.NewCheckpointStore(len(designs)*len(benches), "")
+		s := experiments.NewSuite(opt)
+		if err := s.RunAll(designs, benches, runtime.NumCPU()); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	fullS := suite(tlc.FidelityFull)
+	fastS := suite(tlc.FidelityFast)
+	const slack = 0.05 // percentage points
+	cells := 0
+	for _, d := range designs {
+		for _, bench := range benches {
+			be, ok := art.Bench(bench)
+			if !ok {
+				t.Fatalf("benchmark %s missing from committed artifact", bench)
+			}
+			fu := fullS.Run(d, bench)
+			fa := fastS.Run(d, bench)
+			errPct := 100 * (float64(fa.Cycles) - float64(fu.Cycles)) / float64(fu.Cycles)
+			if errPct < be.Cycles.MinPct-slack || errPct > be.Cycles.MaxPct+slack {
+				t.Errorf("%v/%s: fast cycle error %+.3f%% outside committed [%+.3f%%, %+.3f%%]",
+					d, bench, errPct, be.Cycles.MinPct, be.Cycles.MaxPct)
+			}
+			ipcPct := 100 * (fa.IPC - fu.IPC) / fu.IPC
+			if ipcPct < be.IPC.MinPct-slack || ipcPct > be.IPC.MaxPct+slack {
+				t.Errorf("%v/%s: fast IPC error %+.3f%% outside committed [%+.3f%%, %+.3f%%]",
+					d, bench, ipcPct, be.IPC.MinPct, be.IPC.MaxPct)
+			}
+			cells++
+		}
+	}
+	if want := len(designs) * len(benches); cells != want {
+		t.Fatalf("checked %d cells, want %d", cells, want)
+	}
+}

@@ -37,6 +37,12 @@ type RunOptions struct {
 	SharingPattern string  `json:"sharing_pattern,omitempty"`
 	SharedMB       float64 `json:"shared_mb,omitempty"`
 	SharedFrac     float64 `json:"shared_frac,omitempty"`
+
+	// Fidelity selects the core timing tier: "full" (the default; ""
+	// normalizes to it) or "fast" (calibrated in-order model; the record
+	// carries error bounds). Fidelity is part of the run key, so the tiers
+	// never share a cached result.
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // Options expands the wire options into a runnable tlc.Options, applying
@@ -67,6 +73,7 @@ func (o RunOptions) Options() tlc.Options {
 		SharedMB:   o.SharedMB,
 		SharedFrac: o.SharedFrac,
 	}
+	opt.Fidelity = o.Fidelity
 	return opt
 }
 
@@ -87,6 +94,7 @@ func FromOptions(opt tlc.Options) RunOptions {
 		SharingPattern:   opt.Sharing.Pattern,
 		SharedMB:         opt.Sharing.SharedMB,
 		SharedFrac:       opt.Sharing.SharedFrac,
+		Fidelity:         opt.Fidelity,
 	}
 }
 
@@ -167,6 +175,12 @@ type RunRecord struct {
 	MeanLookupCI  float64 `json:"mean_lookup_ci,omitempty"`
 	MissesPer1KCI float64 `json:"misses_per_1k_ci,omitempty"`
 
+	// Fidelity is the core timing tier the run executed at ("full" or
+	// "fast"); ErrorBound is the fast tier's committed calibration envelope
+	// (nil on full-fidelity records and on benchmarks never calibrated).
+	Fidelity   string          `json:"fidelity,omitempty"`
+	ErrorBound *tlc.ErrorBound `json:"error_bound,omitempty"`
+
 	// Metrics is the run's full registry snapshot — every counter, gauge,
 	// and histogram each simulation layer registered.
 	Metrics tlc.MetricsSnapshot `json:"metrics,omitempty"`
@@ -199,6 +213,7 @@ func RecordFrom(res tlc.Result, sres *tlc.SampledResult, snap tlc.MetricsSnapsho
 		NetworkPowerW:   res.NetworkPowerW,
 		WallMS:          wallMS,
 		Metrics:         snap,
+		ErrorBound:      res.ErrorBound,
 	}
 	if sres != nil {
 		rec.CyclesCI = sres.CyclesCI
@@ -230,6 +245,7 @@ func (r RunRecord) ToResult() (tlc.Result, error) {
 		PredictablePct:  r.PredictablePct,
 		LinkUtilization: r.LinkUtilization,
 		NetworkPowerW:   r.NetworkPowerW,
+		ErrorBound:      r.ErrorBound,
 	}, nil
 }
 

@@ -1,0 +1,292 @@
+// Package calibrate is the fast-tier error contract: it fits per-benchmark
+// error statistics (bias + spread on cycles and IPC) of the fast core tier
+// against the full tier, serializes them as the committed, versioned
+// CALIBRATION.json artifact, and turns the artifact into the ErrorBound
+// values fast-tier results carry. The artifact is CI-gated like the
+// coverage floor: scripts/calibration_check.sh rebuilds it from scratch and
+// fails on drift beyond the committed tolerance, so a fast-core change that
+// silently worsens error cannot land without refreshing the contract.
+package calibrate
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"tlc/internal/stats"
+)
+
+// Format versions the artifact schema. Load rejects other formats, so a
+// schema change invalidates stale artifacts instead of misreading them.
+const Format = 1
+
+// Artifact is the committed calibration: one error summary per benchmark,
+// fitted at a recorded scale. Version counts deliberate regenerations
+// (bump it when committing a refit) — it is stamped into every ErrorBound
+// so a served error bar names the contract it came from.
+type Artifact struct {
+	Format     int          `json:"format"`
+	Version    int          `json:"version"`
+	Scale      Scale        `json:"scale"`
+	Benchmarks []BenchError `json:"benchmarks"`
+}
+
+// Scale records the run shape both tiers executed during the fit. The
+// bounds only provably cover runs of this shape; other scales inherit them
+// as estimates.
+type Scale struct {
+	WarmInstructions uint64 `json:"warm_instructions"`
+	RunInstructions  uint64 `json:"run_instructions"`
+	Seed             int64  `json:"seed"`
+	Designs          int    `json:"designs"`
+}
+
+// BenchError is one benchmark's fitted error: weighted moments across its
+// design cells, for cycles and IPC.
+type BenchError struct {
+	Benchmark string     `json:"benchmark"`
+	Cells     int        `json:"cells"`
+	Cycles    ErrorStats `json:"cycles"`
+	IPC       ErrorStats `json:"ipc"`
+}
+
+// ErrorStats summarizes one metric's fast-vs-full relative error in
+// percent: the cycle-weighted mean (bias), the weighted standard deviation
+// (spread), and the observed per-cell extremes across the fitted designs.
+type ErrorStats struct {
+	BiasPct   float64 `json:"bias_pct"`
+	SpreadPct float64 `json:"spread_pct"`
+	MinPct    float64 `json:"min_pct"`
+	MaxPct    float64 `json:"max_pct"`
+}
+
+// Cell is one (design, benchmark) measurement pair feeding the fit.
+type Cell struct {
+	Design     string
+	Benchmark  string
+	FullCycles uint64
+	FastCycles uint64
+	FullIPC    float64
+	FastIPC    float64
+}
+
+// Bound is the error envelope attached to one fast-tier result: the
+// benchmark's fitted bias and a [lo, hi] interval covering both the
+// bias ± 2·spread band and the observed extremes. Interpreting a fast
+// result: the full tier's cycles lie near fast/(1 + bias/100), with the
+// interval giving the calibrated uncertainty.
+type Bound struct {
+	Benchmark          string  `json:"benchmark"`
+	CyclesBiasPct      float64 `json:"cycles_bias_pct"`
+	CyclesLoPct        float64 `json:"cycles_lo_pct"`
+	CyclesHiPct        float64 `json:"cycles_hi_pct"`
+	IPCBiasPct         float64 `json:"ipc_bias_pct"`
+	IPCLoPct           float64 `json:"ipc_lo_pct"`
+	IPCHiPct           float64 `json:"ipc_hi_pct"`
+	CalibrationVersion int     `json:"calibration_version"`
+}
+
+// errPct is the relative error of fast against full, in percent.
+func errPct(fast, full float64) float64 {
+	if full == 0 {
+		return 0
+	}
+	return 100 * (fast - full) / full
+}
+
+// Fit computes the per-benchmark error artifact from measured cells. Each
+// cell is weighted by its full-tier cycle count (stats.Weighted moments),
+// so big-footprint designs dominate the bias the way they dominate real
+// sweeps. Benchmarks sort by name for a stable committed serialization.
+func Fit(cells []Cell, scale Scale, version int) *Artifact {
+	type acc struct {
+		cyc, ipc       stats.Weighted
+		cycMin, cycMax float64
+		ipcMin, ipcMax float64
+		n              int
+	}
+	byBench := make(map[string]*acc)
+	for _, c := range cells {
+		a := byBench[c.Benchmark]
+		if a == nil {
+			a = &acc{}
+			byBench[c.Benchmark] = a
+		}
+		w := float64(c.FullCycles)
+		ce := errPct(float64(c.FastCycles), float64(c.FullCycles))
+		ie := errPct(c.FastIPC, c.FullIPC)
+		a.cyc.Observe(ce, w)
+		a.ipc.Observe(ie, w)
+		if a.n == 0 {
+			a.cycMin, a.cycMax = ce, ce
+			a.ipcMin, a.ipcMax = ie, ie
+		} else {
+			a.cycMin = min(a.cycMin, ce)
+			a.cycMax = max(a.cycMax, ce)
+			a.ipcMin = min(a.ipcMin, ie)
+			a.ipcMax = max(a.ipcMax, ie)
+		}
+		a.n++
+	}
+	art := &Artifact{Format: Format, Version: version, Scale: scale}
+	for name, a := range byBench {
+		art.Benchmarks = append(art.Benchmarks, BenchError{
+			Benchmark: name,
+			Cells:     a.n,
+			Cycles: ErrorStats{
+				BiasPct:   a.cyc.Mean(),
+				SpreadPct: a.cyc.StdDev(),
+				MinPct:    a.cycMin,
+				MaxPct:    a.cycMax,
+			},
+			IPC: ErrorStats{
+				BiasPct:   a.ipc.Mean(),
+				SpreadPct: a.ipc.StdDev(),
+				MinPct:    a.ipcMin,
+				MaxPct:    a.ipcMax,
+			},
+		})
+	}
+	sort.Slice(art.Benchmarks, func(i, j int) bool {
+		return art.Benchmarks[i].Benchmark < art.Benchmarks[j].Benchmark
+	})
+	return art
+}
+
+// Bench returns the named benchmark's fitted error, if present.
+func (a *Artifact) Bench(name string) (BenchError, bool) {
+	for _, b := range a.Benchmarks {
+		if b.Benchmark == name {
+			return b, true
+		}
+	}
+	return BenchError{}, false
+}
+
+// Bound derives the served error envelope for one benchmark: the interval
+// is the union of bias ± 2·spread and the observed extremes, so it covers
+// both the fitted distribution and every cell the fit actually saw.
+func (a *Artifact) Bound(bench string) (Bound, bool) {
+	b, ok := a.Bench(bench)
+	if !ok {
+		return Bound{}, false
+	}
+	return Bound{
+		Benchmark:          bench,
+		CyclesBiasPct:      b.Cycles.BiasPct,
+		CyclesLoPct:        min(b.Cycles.MinPct, b.Cycles.BiasPct-2*b.Cycles.SpreadPct),
+		CyclesHiPct:        max(b.Cycles.MaxPct, b.Cycles.BiasPct+2*b.Cycles.SpreadPct),
+		IPCBiasPct:         b.IPC.BiasPct,
+		IPCLoPct:           min(b.IPC.MinPct, b.IPC.BiasPct-2*b.IPC.SpreadPct),
+		IPCHiPct:           max(b.IPC.MaxPct, b.IPC.BiasPct+2*b.IPC.SpreadPct),
+		CalibrationVersion: a.Version,
+	}, true
+}
+
+// Compare diffs a rebuilt artifact against the committed one with a
+// per-benchmark drift tolerance in percentage points, returning one
+// human-readable line per violation (empty means within tolerance). It
+// checks bias and spread on both metrics, plus benchmark-set and scale
+// identity — a rebuild at a different scale is a configuration error, not
+// drift.
+func Compare(committed, rebuilt *Artifact, tolPct float64) []string {
+	var bad []string
+	if committed.Scale != rebuilt.Scale {
+		bad = append(bad, fmt.Sprintf("scale mismatch: committed %+v vs rebuilt %+v", committed.Scale, rebuilt.Scale))
+		return bad
+	}
+	seen := make(map[string]bool)
+	for _, cb := range committed.Benchmarks {
+		seen[cb.Benchmark] = true
+		rb, ok := rebuilt.Bench(cb.Benchmark)
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: missing from rebuilt artifact", cb.Benchmark))
+			continue
+		}
+		check := func(metric, field string, old, new float64) {
+			if d := new - old; d > tolPct || d < -tolPct {
+				bad = append(bad, fmt.Sprintf("%s: %s %s drifted %+.3fpp (committed %+.3f%%, rebuilt %+.3f%%, tol %.3fpp)",
+					cb.Benchmark, metric, field, d, old, new, tolPct))
+			}
+		}
+		check("cycles", "bias", cb.Cycles.BiasPct, rb.Cycles.BiasPct)
+		check("cycles", "spread", cb.Cycles.SpreadPct, rb.Cycles.SpreadPct)
+		check("ipc", "bias", cb.IPC.BiasPct, rb.IPC.BiasPct)
+		check("ipc", "spread", cb.IPC.SpreadPct, rb.IPC.SpreadPct)
+	}
+	for _, rb := range rebuilt.Benchmarks {
+		if !seen[rb.Benchmark] {
+			bad = append(bad, fmt.Sprintf("%s: present in rebuilt artifact but not committed", rb.Benchmark))
+		}
+	}
+	return bad
+}
+
+// Marshal serializes the artifact in its committed form: indented, stable
+// field and benchmark order, trailing newline.
+func (a *Artifact) Marshal() ([]byte, error) {
+	buf, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// Load reads and validates an artifact file.
+func Load(path string) (*Artifact, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return parse(buf)
+}
+
+func parse(buf []byte) (*Artifact, error) {
+	var a Artifact
+	if err := json.Unmarshal(buf, &a); err != nil {
+		return nil, fmt.Errorf("calibrate: %w", err)
+	}
+	if a.Format != Format {
+		return nil, fmt.Errorf("calibrate: artifact format %d, want %d", a.Format, Format)
+	}
+	return &a, nil
+}
+
+// calibration is the committed artifact, compiled into every binary so
+// fast-tier error bounds need no runtime file lookup. Regenerate with
+// cmd/tlccal (see EXPERIMENTS.md).
+//
+//go:embed CALIBRATION.json
+var calibration []byte
+
+var (
+	defaultOnce sync.Once
+	defaultArt  *Artifact
+)
+
+// Default returns the committed artifact compiled into the binary, or nil
+// if it fails to parse (only possible if the committed file is corrupt —
+// TestCommittedArtifactParses pins this non-nil).
+func Default() *Artifact {
+	defaultOnce.Do(func() {
+		a, err := parse(calibration)
+		if err != nil {
+			return
+		}
+		defaultArt = a
+	})
+	return defaultArt
+}
+
+// DefaultBound is Bound against the committed artifact; ok is false when
+// the artifact is unavailable or the benchmark was never calibrated.
+func DefaultBound(bench string) (Bound, bool) {
+	a := Default()
+	if a == nil {
+		return Bound{}, false
+	}
+	return a.Bound(bench)
+}

@@ -1,0 +1,134 @@
+package calibrate
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestCommittedArtifactParses pins the embedded CALIBRATION.json: it must
+// parse, cover the full benchmark grid, and produce bounds. Default()'s
+// nil-on-corrupt escape hatch must never fire on the committed file.
+func TestCommittedArtifactParses(t *testing.T) {
+	a := Default()
+	if a == nil {
+		t.Fatal("committed CALIBRATION.json failed to parse")
+	}
+	if a.Format != Format {
+		t.Errorf("format %d, want %d", a.Format, Format)
+	}
+	if a.Version < 1 {
+		t.Errorf("version %d, want >= 1", a.Version)
+	}
+	if len(a.Benchmarks) == 0 {
+		t.Fatal("no benchmarks in committed artifact")
+	}
+	if a.Scale.WarmInstructions == 0 || a.Scale.RunInstructions == 0 || a.Scale.Designs == 0 {
+		t.Errorf("degenerate scale %+v", a.Scale)
+	}
+	for _, b := range a.Benchmarks {
+		if b.Cells != a.Scale.Designs {
+			t.Errorf("%s: %d cells, want %d", b.Benchmark, b.Cells, a.Scale.Designs)
+		}
+		bound, ok := a.Bound(b.Benchmark)
+		if !ok {
+			t.Fatalf("%s: no bound", b.Benchmark)
+		}
+		if bound.CalibrationVersion != a.Version {
+			t.Errorf("%s: bound version %d, want %d", b.Benchmark, bound.CalibrationVersion, a.Version)
+		}
+		if bound.CyclesLoPct > b.Cycles.MinPct || bound.CyclesHiPct < b.Cycles.MaxPct {
+			t.Errorf("%s: bound [%f, %f] does not cover observed [%f, %f]",
+				b.Benchmark, bound.CyclesLoPct, bound.CyclesHiPct, b.Cycles.MinPct, b.Cycles.MaxPct)
+		}
+	}
+}
+
+func TestFitWeightsAndExtremes(t *testing.T) {
+	// Two cells, fast 10% high on the heavy one, exact on the light one:
+	// the cycle-weighted bias sits much closer to the heavy cell.
+	cells := []Cell{
+		{Design: "A", Benchmark: "x", FullCycles: 900_000, FastCycles: 990_000, FullIPC: 1.0, FastIPC: 0.9},
+		{Design: "B", Benchmark: "x", FullCycles: 100_000, FastCycles: 100_000, FullIPC: 2.0, FastIPC: 2.0},
+	}
+	a := Fit(cells, Scale{WarmInstructions: 1, RunInstructions: 1, Designs: 2}, 3)
+	if a.Version != 3 || a.Format != Format {
+		t.Fatalf("stamped version/format wrong: %+v", a)
+	}
+	b, ok := a.Bench("x")
+	if !ok || b.Cells != 2 {
+		t.Fatalf("bench x: %+v ok=%v", b, ok)
+	}
+	if want := 9.0; math.Abs(b.Cycles.BiasPct-want) > 1e-9 {
+		t.Errorf("weighted cycle bias %f, want %f", b.Cycles.BiasPct, want)
+	}
+	if b.Cycles.MinPct != 0 || b.Cycles.MaxPct != 10 {
+		t.Errorf("cycle extremes [%f, %f], want [0, 10]", b.Cycles.MinPct, b.Cycles.MaxPct)
+	}
+	bound, _ := a.Bound("x")
+	// The interval must cover both the observed extremes and bias±2σ.
+	if bound.CyclesLoPct > 0 || bound.CyclesHiPct < 10 {
+		t.Errorf("bound [%f, %f] does not cover observed extremes", bound.CyclesLoPct, bound.CyclesHiPct)
+	}
+	if lo := b.Cycles.BiasPct - 2*b.Cycles.SpreadPct; bound.CyclesLoPct > lo {
+		t.Errorf("bound lo %f does not cover bias-2sigma %f", bound.CyclesLoPct, lo)
+	}
+}
+
+func TestCompareFlagsDrift(t *testing.T) {
+	cells := []Cell{{Design: "A", Benchmark: "x", FullCycles: 100, FastCycles: 110, FullIPC: 1, FastIPC: 0.9}}
+	scale := Scale{WarmInstructions: 1, RunInstructions: 1, Designs: 1}
+	committed := Fit(cells, scale, 1)
+
+	if bad := Compare(committed, Fit(cells, scale, 1), 0.25); len(bad) != 0 {
+		t.Fatalf("identical rebuild flagged: %v", bad)
+	}
+
+	drifted := Fit([]Cell{{Design: "A", Benchmark: "x", FullCycles: 100, FastCycles: 111, FullIPC: 1, FastIPC: 0.9}}, scale, 1)
+	bad := Compare(committed, drifted, 0.25)
+	if len(bad) == 0 {
+		t.Fatal("1pp cycle-bias drift not flagged at 0.25pp tolerance")
+	}
+	if !strings.Contains(bad[0], "cycles bias drifted") {
+		t.Errorf("unexpected drift message %q", bad[0])
+	}
+
+	other := Fit(cells, Scale{WarmInstructions: 2, RunInstructions: 1, Designs: 1}, 1)
+	if bad := Compare(committed, other, 0.25); len(bad) != 1 || !strings.Contains(bad[0], "scale mismatch") {
+		t.Errorf("scale mismatch not flagged first: %v", bad)
+	}
+
+	extra := Fit([]Cell{
+		{Design: "A", Benchmark: "x", FullCycles: 100, FastCycles: 110, FullIPC: 1, FastIPC: 0.9},
+		{Design: "A", Benchmark: "y", FullCycles: 100, FastCycles: 100, FullIPC: 1, FastIPC: 1},
+	}, scale, 1)
+	if bad := Compare(committed, extra, 0.25); len(bad) != 1 || !strings.Contains(bad[0], "not committed") {
+		t.Errorf("extra benchmark not flagged: %v", bad)
+	}
+	if bad := Compare(extra, committed, 0.25); len(bad) != 1 || !strings.Contains(bad[0], "missing") {
+		t.Errorf("missing benchmark not flagged: %v", bad)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	a := Fit([]Cell{{Design: "A", Benchmark: "x", FullCycles: 100, FastCycles: 90, FullIPC: 1, FastIPC: 1.1}},
+		Scale{WarmInstructions: 5, RunInstructions: 7, Seed: 3, Designs: 1}, 2)
+	buf, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[len(buf)-1] != '\n' {
+		t.Error("marshal output lacks trailing newline")
+	}
+	got, err := parse(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 2 || got.Scale != a.Scale || len(got.Benchmarks) != 1 {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+
+	if _, err := parse([]byte(`{"format": 99}`)); err == nil {
+		t.Error("parse accepted unknown format")
+	}
+}

@@ -78,7 +78,7 @@ func WarmLanes(designs []Design, benchmark string, opt Options) (LaneStats, erro
 	seen := make(map[snapshot.Key]bool, len(designs))
 	lanes := make([]lane, 0, len(designs))
 	for _, d := range designs {
-		key := snapshot.Key{Config: configHash(d, spec, singleCoreCMP()), Bench: spec.Name, Seed: warmSeed, Warm: warm}
+		key := snapshot.Key{Config: configHash(d, spec, singleCoreCMP(), opt.fidelity()), Bench: spec.Name, Seed: warmSeed, Warm: warm}
 		if seen[key] {
 			continue
 		}

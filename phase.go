@@ -332,6 +332,7 @@ func assemblePhased(d Design, spec workload.Spec, opt Options, inst l2.Instrumen
 	if estCycles > 0 {
 		res.IPC = float64(totalInstr) / estCycles
 	}
+	attachErrorBound(&res, opt)
 	emitMetrics(d, spec.Name, inst, est.FinalClock, opt)
 	return SampledResult{
 		Result:               res,

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Calibration ratchet, CI-enforced like the coverage floor: rebuild the
+# fast-tier calibration from scratch at the committed artifact's recorded
+# scale and fail on any per-benchmark bias/spread drift beyond the
+# tolerance in .github/calibration-drift.txt. Both tiers are deterministic,
+# so on unchanged timing code the rebuild reproduces the committed
+# statistics exactly — the tolerance admits deliberate, reviewed drift
+# only. A fast-core or cache-timing change that shifts the error contract
+# fails here until the artifact is regenerated and committed:
+#
+#   go run ./cmd/tlccal -out internal/calibrate/CALIBRATION.json
+#
+# (bump -version when the shift is intentional, then review the new bounds
+# in the diff).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ARTIFACT=internal/calibrate/CALIBRATION.json
+TOL=$(tr -d '[:space:]' < .github/calibration-drift.txt)
+
+echo "== calibration ratchet: rebuilding at committed scale, tolerance ${TOL}pp =="
+go run ./cmd/tlccal -against "$ARTIFACT" -tol "$TOL"

@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"tlc/internal/area"
+	"tlc/internal/calibrate"
 	"tlc/internal/config"
 	"tlc/internal/cpu"
 	"tlc/internal/dram"
@@ -82,6 +83,18 @@ type Options struct {
 	// single-bit upsets are corrected in place, detected double-bit
 	// errors cost a retry round trip. Zero disables injection.
 	BitErrorRate float64
+
+	// Fidelity selects the core timing tier: FidelityFull (the default;
+	// "" normalizes to it) is the Table 3 out-of-order model, FidelityFast
+	// an in-order fixed-IPC-with-MLP model roughly an order of magnitude
+	// faster whose per-benchmark error against the full tier is measured
+	// and committed (internal/calibrate); fast results carry the
+	// calibrated ErrorBound. Fidelity is part of a run's identity — it
+	// folds into configHash, ContentKey, and RunKey, so the tiers never
+	// share a checkpoint, a cached result, or a fleet owner slot. The fast
+	// tier composes with sampling and phase mode but not (yet) with CMP
+	// runs: Validate rejects Fidelity=fast with Cores > 1.
+	Fidelity string
 
 	// Cores is the CMP core count. Zero or one runs the single-core
 	// machine — bit-identical to the pre-CMP path, same cycles and same
@@ -201,6 +214,38 @@ func (o Options) phaseMode() bool { return o.PhaseWindows > 0 || o.PhaseClusters
 // uniform intervals or phase-aware representatives.
 func (o Options) sampledMode() bool { return o.SampleIntervals > 0 || o.phaseMode() }
 
+// The two core timing tiers Options.Fidelity selects.
+const (
+	FidelityFull = "full"
+	FidelityFast = "fast"
+)
+
+// fidelity normalizes Options.Fidelity: empty means full, so the pre-tier
+// key space ("" everywhere) and explicit FidelityFull are one identity.
+func (o Options) fidelity() string {
+	if o.Fidelity == "" {
+		return FidelityFull
+	}
+	return o.Fidelity
+}
+
+// FidelityTier reports the normalized fidelity tier ("full" or "fast") —
+// the value keys, records, and per-tier metrics use.
+func (o Options) FidelityTier() string { return o.fidelity() }
+
+// validateFidelity rejects unknown tiers and unsupported combinations.
+func (o Options) validateFidelity() error {
+	switch o.fidelity() {
+	case FidelityFull, FidelityFast:
+	default:
+		return fmt.Errorf("tlc: unknown fidelity %q (want %q or %q)", o.Fidelity, FidelityFull, FidelityFast)
+	}
+	if o.fidelity() == FidelityFast && o.cores() > 1 {
+		return fmt.Errorf("tlc: fidelity %q does not support CMP runs (Cores=%d); use the full tier", FidelityFast, o.Cores)
+	}
+	return nil
+}
+
 // SharingSpec parameterizes cross-core sharing in CMP runs; see
 // workload.SharingSpec.
 type SharingSpec = workload.SharingSpec
@@ -249,6 +294,9 @@ func singleCoreCMP() CMPConfig { return CMPConfig{Cores: 1} }
 // sample.Options.Validate.
 func (o Options) Validate() error {
 	if err := o.validateCMP(); err != nil {
+		return err
+	}
+	if err := o.validateFidelity(); err != nil {
 		return err
 	}
 	if o.phaseMode() {
@@ -354,6 +402,29 @@ type Result struct {
 	// Reliability results (TLC designs with a nonzero BitErrorRate).
 	ECCCorrections uint64
 	ECCRetries     uint64
+
+	// ErrorBound is the calibrated fast-tier error envelope: nil on
+	// full-fidelity results, and on fast results the committed
+	// per-benchmark bias and interval on cycles/IPC relative to the full
+	// tier (see internal/calibrate and EXPERIMENTS.md).
+	ErrorBound *ErrorBound `json:",omitempty"`
+}
+
+// ErrorBound is the per-benchmark calibrated error envelope fast-tier
+// results carry; see calibrate.Bound for field semantics.
+type ErrorBound = calibrate.Bound
+
+// attachErrorBound stamps the committed calibration envelope onto a
+// fast-tier result. Full-tier results stay untouched (nil ErrorBound), and
+// a benchmark absent from the committed artifact — a custom spec, say —
+// yields a fast result with no bound rather than an error.
+func attachErrorBound(res *Result, opt Options) {
+	if opt.fidelity() != FidelityFast {
+		return
+	}
+	if b, ok := calibrate.DefaultBound(res.Benchmark); ok {
+		res.ErrorBound = &b
+	}
 }
 
 // build instantiates a design wired into the instrumentation spine. Every
@@ -424,7 +495,7 @@ func Run(d Design, benchmark string, opt Options) (Result, error) {
 // checkpointFormat versions the warm-state layout. Bump it whenever the
 // captured state's shape or semantics change, so stale on-disk checkpoints
 // miss instead of restoring garbage.
-const checkpointFormat = 2 // v2: CMP axis in keys, optional CMP state in checkpoints
+const checkpointFormat = 3 // v3: fidelity tier in keys; v2: CMP axis in keys, optional CMP state in checkpoints
 
 // keyHasher folds checkpoint-key fields into an FNV hash with explicit,
 // typed encoding: every value is written as a fixed-width little-endian
@@ -570,14 +641,16 @@ func (k *keyHasher) cmp(c CMPConfig) {
 
 // configHash keys checkpoints by everything that shapes post-warm machine
 // state: the design and its parameters, the system (L1 geometry), the
-// workload spec, and the CMP axis (core count, protocol, sharing).
-// Over-keying (including parameters warm-up ignores) only costs spurious
-// misses; under-keying would silently restore wrong state. Every parameter
-// is folded field by field with typed encoding (keyHasher);
-// TestConfigHashCoversEveryParameter asserts that perturbing any single
-// field changes the key.
-func configHash(d Design, spec workload.Spec, cmp CMPConfig) string {
-	return configHashOf(d, config.DefaultSystem(), spec, nucaParamsFor(d), tlcParamsFor(d), cmp)
+// workload spec, the CMP axis (core count, protocol, sharing), and the
+// fidelity tier. Warm-up itself is tier-independent, but keying on the
+// tier keeps fast and full runs in disjoint checkpoint spaces — the
+// isolation TestFidelityInRunKey pins. Over-keying (including parameters
+// warm-up ignores) only costs spurious misses; under-keying would silently
+// restore wrong state. Every parameter is folded field by field with typed
+// encoding (keyHasher); TestConfigHashCoversEveryParameter asserts that
+// perturbing any single field changes the key.
+func configHash(d Design, spec workload.Spec, cmp CMPConfig, fidelity string) string {
+	return configHashOf(d, config.DefaultSystem(), spec, nucaParamsFor(d), tlcParamsFor(d), cmp, fidelity)
 }
 
 // nucaParamsFor and tlcParamsFor return the design's parameter struct, or a
@@ -603,7 +676,7 @@ func tlcParamsFor(d Design) config.TLCParams {
 
 // configHashOf is the explicit-encoding core of configHash, parameterized
 // for testing.
-func configHashOf(d Design, sys config.System, spec workload.Spec, np config.NUCAParams, tp config.TLCParams, cmp CMPConfig) string {
+func configHashOf(d Design, sys config.System, spec workload.Spec, np config.NUCAParams, tp config.TLCParams, cmp CMPConfig, fidelity string) string {
 	k := newKeyHasher()
 	k.u64(checkpointFormat)
 	k.i(int(d))
@@ -612,6 +685,7 @@ func configHashOf(d Design, sys config.System, spec workload.Spec, np config.NUC
 	k.nucaParams(np)
 	k.tlcParams(tp)
 	k.cmp(cmp)
+	k.str(fidelity)
 	return k.sum()
 }
 
@@ -635,6 +709,7 @@ func (o Options) ContentKey() string {
 	k.i(o.PhaseWindows)
 	k.i(o.PhaseClusters)
 	k.cmp(o.cmpConfig())
+	k.str(o.fidelity())
 	return k.sum()
 }
 
@@ -648,7 +723,7 @@ func (o Options) ContentKey() string {
 func RunKey(d Design, benchmark string, opt Options) string {
 	spec, _ := workload.SpecByName(benchmark)
 	k := newKeyHasher()
-	k.str(configHash(d, spec, opt.cmpConfig()))
+	k.str(configHash(d, spec, opt.cmpConfig(), opt.fidelity()))
 	k.str(benchmark)
 	k.str(opt.ContentKey())
 	return k.sum()
@@ -685,13 +760,14 @@ func prepare(d Design, spec workload.Spec, opt Options) (l2.Instrumented, *cpu.C
 	warmSeed, warm := warmPlan(spec, opt)
 	gen := workload.New(spec, warmSeed)
 	core := cpu.New(sys, inst)
+	core.SetFast(opt.fidelity() == FidelityFast)
 	core.SetCancel(opt.Cancel)
 	// The design's registry becomes the run's: the core and the generator
 	// publish alongside the cache layers.
 	core.RegisterMetrics(inst.Metrics())
 	gen.RegisterMetrics(inst.Metrics())
 
-	key := snapshot.Key{Config: configHash(d, spec, singleCoreCMP()), Bench: spec.Name, Seed: warmSeed, Warm: warm}
+	key := snapshot.Key{Config: configHash(d, spec, singleCoreCMP(), opt.fidelity()), Bench: spec.Name, Seed: warmSeed, Warm: warm}
 	restored := false
 	if opt.Checkpoints != nil {
 		if ckp, ok := opt.Checkpoints.Get(key); ok {
@@ -764,6 +840,9 @@ func RunSpec(d Design, spec workload.Spec, opt Options) (Result, error) {
 	if err := opt.validateCMP(); err != nil {
 		return Result{}, err
 	}
+	if err := opt.validateFidelity(); err != nil {
+		return Result{}, err
+	}
 	if opt.sampledMode() {
 		sres, err := RunSpecSampled(d, spec, opt)
 		return sres.Result, err
@@ -783,6 +862,7 @@ func RunSpec(d Design, spec workload.Spec, opt Options) (Result, error) {
 	res.Instructions = cr.Instructions
 	res.Cycles = uint64(cr.Cycles)
 	res.IPC = cr.IPC()
+	attachErrorBound(&res, opt)
 	emitMetrics(d, spec.Name, inst, cr.Cycles, opt)
 	return res, nil
 }
@@ -880,6 +960,9 @@ func RunSpecSampled(d Design, spec workload.Spec, opt Options) (SampledResult, e
 	if err := opt.validateCMP(); err != nil {
 		return SampledResult{}, err
 	}
+	if err := opt.validateFidelity(); err != nil {
+		return SampledResult{}, err
+	}
 	if sopt.Phase() {
 		if opt.cores() > 1 {
 			return runSpecCMPPhased(d, spec, opt, sopt)
@@ -946,6 +1029,7 @@ func RunSpecSampled(d Design, spec workload.Spec, opt Options) (SampledResult, e
 	for i, n := range names {
 		mcis[i] = MetricCI{Name: n, MeanPer1K: counterSamples[i].Mean(), CI95: counterSamples[i].CI95()}
 	}
+	attachErrorBound(&res, opt)
 	emitMetrics(d, spec.Name, inst, est.FinalClock, opt)
 	return SampledResult{
 		Result:               res,
